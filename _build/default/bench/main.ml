@@ -1,0 +1,148 @@
+(* Benchmark harness.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- tables  -- only regenerate the paper tables
+     dune exec bench/main.exe -- micro   -- only the Bechamel microbenchmarks
+
+   Two jobs live here:
+
+   1. "tables": regenerate every table and figure of the paper at full
+      trace scale and print them (the same output `experiments all`
+      produces) — this is the reproduction artifact.
+
+   2. "micro": Bechamel timings with one Test.make per table/figure (the
+      regeneration pipelines at reduced trace scale, so the timer can
+      iterate) plus microbenchmarks of the three alignment algorithms and
+      of the simulation substrate. *)
+
+open Bechamel
+open Toolkit
+
+let reduced_steps = 30_000
+
+(* A profiled mid-size workload for the algorithm microbenchmarks; gcc has
+   the most procedures and branch sites. *)
+let gcc_profile =
+  lazy
+    (let w = Option.get (Ba_workloads.Spec.by_name "gcc") in
+     Ba_exec.Engine.profile_program ~max_steps:reduced_steps
+       (w.Ba_workloads.Spec.build ()))
+
+let subset names = List.filter_map Ba_workloads.Spec.by_name names
+
+let table_workloads =
+  lazy (subset [ "alvinn"; "swm256"; "compress"; "espresso"; "gcc"; "groff" ])
+
+let fig4_workloads = lazy (subset [ "alvinn"; "eqntott"; "sc" ])
+
+let evaluate workloads =
+  Ba_report.Harness.evaluate_suite ~max_steps:reduced_steps (Lazy.force workloads)
+
+(* One Test.make per table / figure: each runs that table's full
+   regeneration pipeline (profile, align, multi-architecture simulation,
+   formatting) over a representative subset at reduced scale. *)
+let table_tests =
+  Test.make_grouped ~name:"tables"
+    [
+      Test.make ~name:"table1" (Staged.stage (fun () -> Ba_report.Tables.table1 ()));
+      Test.make ~name:"table2"
+        (Staged.stage (fun () -> Ba_report.Tables.table2 (evaluate table_workloads)));
+      Test.make ~name:"table3"
+        (Staged.stage (fun () -> Ba_report.Tables.table3 (evaluate table_workloads)));
+      Test.make ~name:"table4"
+        (Staged.stage (fun () -> Ba_report.Tables.table4 (evaluate table_workloads)));
+      Test.make ~name:"fig4"
+        (Staged.stage (fun () -> Ba_report.Tables.fig4 (evaluate fig4_workloads)));
+    ]
+
+let align_with algo =
+  let profile = Lazy.force gcc_profile in
+  ignore (Ba_core.Align.align_program algo ~arch:Ba_core.Cost_model.Fallthrough profile)
+
+let algorithm_tests =
+  Test.make_grouped ~name:"alignment"
+    [
+      Test.make ~name:"greedy" (Staged.stage (fun () -> align_with Ba_core.Align.Greedy));
+      Test.make ~name:"cost" (Staged.stage (fun () -> align_with Ba_core.Align.Cost));
+      Test.make ~name:"try5" (Staged.stage (fun () -> align_with (Ba_core.Align.Tryn 5)));
+      Test.make ~name:"try15" (Staged.stage (fun () -> align_with (Ba_core.Align.Tryn 15)));
+    ]
+
+let substrate_tests =
+  let program =
+    lazy ((Option.get (Ba_workloads.Spec.by_name "espresso")).Ba_workloads.Spec.build ())
+  in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"interpret-30k-steps"
+        (Staged.stage (fun () ->
+             ignore
+               (Ba_exec.Engine.run ~max_steps:reduced_steps
+                  (Ba_layout.Image.original (Lazy.force program)))));
+      Test.make ~name:"simulate-6-archs"
+        (Staged.stage (fun () ->
+             ignore
+               (Ba_sim.Runner.simulate ~max_steps:reduced_steps
+                  ~archs:
+                    [
+                      Ba_sim.Bep.Static_fallthrough;
+                      Ba_sim.Bep.Static_btfnt;
+                      Ba_sim.Bep.Pht_direct { entries = 4096 };
+                      Ba_sim.Bep.Pht_gshare { entries = 4096; history_bits = 12 };
+                      Ba_sim.Bep.Btb_arch { entries = 64; assoc = 2 };
+                      Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
+                    ]
+                  (Ba_layout.Image.original (Lazy.force program)))));
+    ]
+
+let run_micro () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ~kde:(Some 100) ()
+  in
+  let measure_and_analyze tests =
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  List.iter (fun i -> Bechamel_notty.Unit.add i (Measure.unit i)) instances;
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  List.iter
+    (fun tests ->
+      let results = measure_and_analyze tests in
+      Notty_unix.output_image
+        (Notty_unix.eol
+           (Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+              ~predictor:Measure.run results)))
+    [ table_tests; algorithm_tests; substrate_tests ]
+
+let run_tables () =
+  let evals = Ba_report.Harness.evaluate_suite Ba_workloads.Spec.all in
+  print_endline "== Table 1: branch cost model (cycles) ==";
+  print_string (Ba_report.Tables.table1 ());
+  print_endline "\n== Table 2: measured attributes of the traced programs ==";
+  print_string (Ba_report.Tables.table2 evals);
+  print_endline "\n== Table 3: relative CPI, static prediction architectures ==";
+  print_string (Ba_report.Tables.table3 evals);
+  print_endline "\n== Table 4: relative CPI, dynamic prediction architectures ==";
+  print_string (Ba_report.Tables.table4 evals);
+  print_endline "\n== Figure 4: relative execution time, Alpha 21064 model ==";
+  print_string (Ba_report.Tables.fig4 evals)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "tables" -> run_tables ()
+  | "micro" -> run_micro ()
+  | "all" ->
+    run_tables ();
+    print_endline "\n== Bechamel microbenchmarks (time per run) ==";
+    run_micro ()
+  | other ->
+    Printf.eprintf "unknown argument %S (expected: tables | micro | all)\n" other;
+    exit 1

@@ -1,0 +1,294 @@
+(* The branch-alignment tool itself: profile a workload, align it with a
+   chosen algorithm under a chosen architectural cost model, and report
+   what changed — layouts, branch statistics and per-architecture penalty
+   cycles.  This is the OM-style "object code post-processor" interface of
+   the paper, driving the library end to end:
+
+     branch_align run --workload espresso --algo try15 --arch fallthrough
+     branch_align list
+     branch_align dump-cfg --workload alvinn --proc 1 *)
+
+open Cmdliner
+
+let algo_conv =
+  let parse = function
+    | "orig" | "original" -> Ok Ba_core.Align.Original
+    | "greedy" | "pettis-hansen" -> Ok Ba_core.Align.Greedy
+    | "cost" -> Ok Ba_core.Align.Cost
+    | s when String.length s > 3 && String.sub s 0 3 = "try" -> (
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some n when n > 0 -> Ok (Ba_core.Align.Tryn n)
+      | Some _ | None -> Error (`Msg "tryN: N must be a positive integer"))
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a = Fmt.string ppf (Ba_core.Align.algo_name a) in
+  Arg.conv (parse, print)
+
+let arch_conv =
+  let parse = function
+    | "fallthrough" | "ft" -> Ok Ba_core.Cost_model.Fallthrough
+    | "btfnt" -> Ok Ba_core.Cost_model.Btfnt
+    | "likely" -> Ok Ba_core.Cost_model.Likely
+    | "pht" -> Ok Ba_core.Cost_model.Pht
+    | "btb" -> Ok Ba_core.Cost_model.Btb
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  let print ppf a = Fmt.string ppf (Ba_core.Cost_model.arch_name a) in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  let doc = "Workload to process (see the list command)." in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let algo_arg =
+  let doc = "Alignment algorithm: orig, greedy, cost, or tryN (e.g. try15)." in
+  Arg.(value & opt algo_conv (Ba_core.Align.Tryn 15) & info [ "algo" ] ~doc)
+
+let arch_arg =
+  let doc = "Architectural cost model: fallthrough, btfnt, likely, pht, btb." in
+  Arg.(value & opt arch_conv Ba_core.Cost_model.Btfnt & info [ "arch" ] ~doc)
+
+let max_steps_arg =
+  let doc = "Execution budget in semantic block visits." in
+  Arg.(value & opt int Ba_workloads.Spec.default_max_steps & info [ "max-steps" ] ~doc)
+
+let lookup name =
+  match Ba_workloads.Spec.by_name name with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown workload %S; try the list command\n" name;
+    exit 1
+
+let bep_archs =
+  [
+    Ba_sim.Bep.Static_fallthrough;
+    Ba_sim.Bep.Static_btfnt;
+    Ba_sim.Bep.Pht_direct { entries = 4096 };
+    Ba_sim.Bep.Pht_gshare { entries = 4096; history_bits = 12 };
+    Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
+  ]
+
+let run_cmd name algo arch max_steps =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let profile = Ba_exec.Engine.profile_program ~max_steps program in
+  let archs_for image =
+    Ba_sim.Bep.Static_likely (Ba_predict.Likely_bits.build image profile) :: bep_archs
+  in
+  let orig_image = Ba_layout.Image.original ~profile program in
+  let orig =
+    Ba_sim.Runner.simulate ~max_steps ~archs:(archs_for orig_image) orig_image
+  in
+  let orig_insns = orig.Ba_sim.Runner.result.Ba_exec.Engine.insns in
+  let aligned_image = Ba_core.Align.image algo ~arch profile in
+  let aligned =
+    Ba_sim.Runner.simulate ~max_steps ~archs:(archs_for aligned_image) aligned_image
+  in
+  Printf.printf "workload %s: %s  (algorithm %s, cost model %s)\n\n"
+    workload.Ba_workloads.Spec.name workload.Ba_workloads.Spec.description
+    (Ba_core.Align.algo_name algo)
+    (Ba_core.Cost_model.arch_name arch);
+  Printf.printf "instructions: %s -> %s  (code size %d -> %d)\n"
+    (Ba_util.Ascii_table.int_cell orig_insns)
+    (Ba_util.Ascii_table.int_cell aligned.Ba_sim.Runner.result.Ba_exec.Engine.insns)
+    orig_image.Ba_layout.Image.total_size aligned_image.Ba_layout.Image.total_size;
+  Printf.printf "fall-through conditionals: %.1f%% -> %.1f%%\n\n"
+    (Ba_exec.Trace_stats.pct_cond_fallthrough orig.Ba_sim.Runner.stats)
+    (Ba_exec.Trace_stats.pct_cond_fallthrough aligned.Ba_sim.Runner.stats);
+  let columns =
+    Ba_util.Ascii_table.
+      [
+        column ~align:Left "architecture"; column "orig CPI"; column "aligned CPI";
+        column "gain%";
+      ]
+  in
+  let rows =
+    List.map2
+      (fun (arch, osim) (_, asim) ->
+        let ocpi = Ba_sim.Bep.relative_cpi osim ~insns:orig_insns ~orig_insns in
+        let acpi =
+          Ba_sim.Bep.relative_cpi asim
+            ~insns:aligned.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns
+        in
+        [
+          Ba_sim.Bep.arch_label arch;
+          Ba_util.Ascii_table.float_cell ocpi;
+          Ba_util.Ascii_table.float_cell acpi;
+          Ba_util.Ascii_table.float_cell ~decimals:1 (100.0 *. (1.0 -. (acpi /. ocpi)));
+        ])
+      orig.Ba_sim.Runner.sims aligned.Ba_sim.Runner.sims
+  in
+  print_string (Ba_util.Ascii_table.render ~columns ~rows)
+
+let hotspots_cmd name top max_steps =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let image = Ba_layout.Image.original program in
+  let hot = Ba_report.Hotspots.create image in
+  let result =
+    Ba_exec.Engine.run ~max_steps ~on_event:(Ba_report.Hotspots.on_event hot) image
+  in
+  Printf.printf "workload %s: %s branch events in %s instructions\n\n"
+    workload.Ba_workloads.Spec.name
+    (Ba_util.Ascii_table.int_cell result.Ba_exec.Engine.branches)
+    (Ba_util.Ascii_table.int_cell result.Ba_exec.Engine.insns);
+  print_string (Ba_report.Hotspots.render ~k:top hot)
+
+let record_cmd name path max_steps =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let image = Ba_layout.Image.original program in
+  let result =
+    Ba_exec.Trace_io.record ~path (fun ~on_event ->
+        Ba_exec.Engine.run ~max_steps ~on_event image)
+  in
+  Printf.printf "recorded %s events (%s instructions) to %s\n"
+    (Ba_util.Ascii_table.int_cell result.Ba_exec.Engine.branches)
+    (Ba_util.Ascii_table.int_cell result.Ba_exec.Engine.insns)
+    path
+
+let replay_cmd path =
+  (* Replay a recorded trace through every architecture that needs no
+     image-side metadata. *)
+  let archs =
+    [
+      Ba_sim.Bep.Static_fallthrough;
+      Ba_sim.Bep.Static_btfnt;
+      Ba_sim.Bep.Pht_direct { entries = 4096 };
+      Ba_sim.Bep.Pht_gshare { entries = 4096; history_bits = 12 };
+      Ba_sim.Bep.Pht_global { history_bits = 12 };
+      Ba_sim.Bep.Pht_local { history_bits = 12; branch_entries = 1024 };
+      Ba_sim.Bep.Btb_arch { entries = 64; assoc = 2 };
+      Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
+    ]
+  in
+  let sims = List.map (fun a -> (a, Ba_sim.Bep.create a)) archs in
+  let n =
+    Ba_exec.Trace_io.replay ~path (fun ev ->
+        List.iter (fun (_, sim) -> Ba_sim.Bep.on_event sim ev) sims)
+  in
+  Printf.printf "replayed %s events from %s\n\n" (Ba_util.Ascii_table.int_cell n) path;
+  let columns =
+    Ba_util.Ascii_table.
+      [
+        column ~align:Left "architecture"; column "accuracy%"; column "misfetch";
+        column "mispredict"; column "BEP cycles";
+      ]
+  in
+  let rows =
+    List.map
+      (fun (arch, sim) ->
+        [
+          Ba_sim.Bep.arch_label arch;
+          Ba_util.Ascii_table.float_cell ~decimals:1
+            (100.0 *. Ba_sim.Bep.cond_accuracy sim);
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.misfetches;
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.mispredicts;
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.bep sim);
+        ])
+      sims
+  in
+  print_string (Ba_util.Ascii_table.render ~columns ~rows)
+
+let disasm_cmd name algo arch proc_id max_steps =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let profile = Ba_exec.Engine.profile_program ~max_steps program in
+  if proc_id < 0 || proc_id >= Ba_ir.Program.n_procs program then begin
+    Printf.eprintf "procedure id out of range (program has %d)\n"
+      (Ba_ir.Program.n_procs program);
+    exit 1
+  end;
+  let fp_fraction =
+    match workload.Ba_workloads.Spec.cls with
+    | Ba_workloads.Spec.Fp -> 0.5
+    | Ba_workloads.Spec.Int | Ba_workloads.Spec.Other -> 0.08
+  in
+  let original =
+    Ba_isa.Codegen.of_image ~fp_fraction (Ba_layout.Image.original ~profile program)
+  in
+  let aligned =
+    Ba_isa.Codegen.of_image ~fp_fraction (Ba_core.Align.image algo ~arch profile)
+  in
+  print_string (Ba_isa.Disasm.side_by_side ~original ~aligned proc_id)
+
+let list_cmd () =
+  let columns =
+    Ba_util.Ascii_table.
+      [ column ~align:Left "name"; column ~align:Left "class"; column ~align:Left "imitates" ]
+  in
+  let rows =
+    List.map
+      (fun (w : Ba_workloads.Spec.t) ->
+        [ w.name; Ba_workloads.Spec.cls_name w.cls; w.description ])
+      Ba_workloads.Spec.all
+  in
+  print_string (Ba_util.Ascii_table.render ~columns ~rows)
+
+let dump_cfg_cmd name proc_id max_steps =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let profile = Ba_exec.Engine.profile_program ~max_steps program in
+  if proc_id < 0 || proc_id >= Ba_ir.Program.n_procs program then begin
+    Printf.eprintf "procedure id out of range (program has %d)\n"
+      (Ba_ir.Program.n_procs program);
+    exit 1
+  end;
+  print_string (Ba_cfg.Graph.dot ~profile:(profile, proc_id) (Ba_ir.Program.proc program proc_id))
+
+let () =
+  let proc_arg =
+    Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id to dump.")
+  in
+  let run =
+    Cmd.v
+      (Cmd.info "run" ~doc:"Profile, align and compare a workload.")
+      Term.(const run_cmd $ workload_arg $ algo_arg $ arch_arg $ max_steps_arg)
+  in
+  let list =
+    Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const list_cmd $ const ())
+  in
+  let dump =
+    Cmd.v
+      (Cmd.info "dump-cfg" ~doc:"Print a procedure's profiled CFG as GraphViz.")
+      Term.(const dump_cfg_cmd $ workload_arg $ proc_arg $ max_steps_arg)
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many sites to show.")
+  in
+  let hotspots =
+    Cmd.v
+      (Cmd.info "hotspots" ~doc:"Show the hottest branch sites of a workload.")
+      Term.(const hotspots_cmd $ workload_arg $ top_arg $ max_steps_arg)
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~doc:"Path of the binary trace file.")
+  in
+  let record =
+    Cmd.v
+      (Cmd.info "record" ~doc:"Record a workload's branch trace to a file.")
+      Term.(const record_cmd $ workload_arg $ trace_arg $ max_steps_arg)
+  in
+  let replay =
+    Cmd.v
+      (Cmd.info "replay" ~doc:"Replay a recorded trace through the predictors.")
+      Term.(const replay_cmd $ trace_arg)
+  in
+  let disasm =
+    Cmd.v
+      (Cmd.info "disasm"
+         ~doc:"Disassemble a procedure, original and aligned side by side.")
+      Term.(
+        const disasm_cmd $ workload_arg $ algo_arg $ arch_arg
+        $ Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id.")
+        $ max_steps_arg)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "branch_align"
+             ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
+          [ run; list; dump; hotspots; record; replay; disasm ]))

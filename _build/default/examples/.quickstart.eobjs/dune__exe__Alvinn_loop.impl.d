@@ -1,0 +1,1 @@
+examples/alvinn_loop.ml: Ba_cfg Ba_core Ba_exec Ba_ir Ba_layout Behavior Block Fmt Proc Program Term

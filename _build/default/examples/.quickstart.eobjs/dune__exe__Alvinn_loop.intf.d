@@ -1,0 +1,1 @@
+examples/alvinn_loop.mli:

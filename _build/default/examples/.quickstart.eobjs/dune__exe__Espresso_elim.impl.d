@@ -1,0 +1,1 @@
+examples/espresso_elim.ml: Array Ba_cfg Ba_core Ba_exec Ba_ir Ba_layout Behavior Block Fmt List Proc Program String Term

@@ -1,0 +1,1 @@
+examples/espresso_elim.mli:

@@ -1,0 +1,1 @@
+examples/predictor_tour.ml: Array Ba_core Ba_exec Ba_layout Ba_predict Ba_sim Ba_util Ba_workloads Fmt List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ba_cfg Ba_core Ba_exec Ba_ir Ba_layout Ba_sim Ba_util Ba_workloads Fmt List Program

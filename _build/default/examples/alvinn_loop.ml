@@ -1,0 +1,94 @@
+(* Figures 2 and 3 of the paper: loops and branch alignment.
+
+     dune exec examples/alvinn_loop.exe
+
+   Part 1 (Figure 2) — ALVINN's input_hidden: a single 11-instruction basic
+   block that branches back to itself accounts for nearly all branches of
+   the routine.  Under FALLTHROUGH the loop edge is mispredicted every
+   iteration (5 cycles with Table 1); the Cost/Try15 transformation inverts
+   the branch sense and inserts an unconditional jump, cutting each
+   iteration to 3 cycles.
+
+   Part 2 (Figure 3) — a three-block loop the Greedy algorithm cannot
+   rotate.  With the paper's edge weights (8999 iterations of the loop, one
+   exit), the original layout costs 36,002 cycles under the LIKELY model and
+   the paper's transformed layout costs ~27,004 (ours evaluates its variant
+   at 27,003); Try15 finds a rotation that is better still. *)
+
+open Ba_ir
+
+(* -- Part 1: the self-loop ---------------------------------------------- *)
+
+let self_loop_program =
+  let main =
+    Proc.make ~name:"input_hidden"
+      [|
+        Block.make ~insns:6 (Term.Jump 1);
+        Block.make ~insns:11
+          (Term.Cond { on_true = 1; on_false = 2; behavior = Behavior.Loop 5000 });
+        Block.make ~insns:1 Term.Halt;
+      |]
+  in
+  Program.make ~name:"alvinn_self_loop" ~seed:0xA1 [| main |]
+
+let () =
+  let program = self_loop_program in
+  let profile = Ba_exec.Engine.profile_program program in
+  let arch = Ba_core.Cost_model.Fallthrough in
+  let visits b = Ba_cfg.Profile.visits profile 0 b in
+  let cond_counts b = Ba_cfg.Profile.cond_counts profile 0 b in
+  let cost decision =
+    Ba_core.Layout_cost.branch_cost ~arch ~visits ~cond_counts
+      (Ba_layout.Lower.lower ~cond_counts (Program.proc program 0) decision)
+  in
+  let orig = cost (Ba_layout.Decision.identity (Program.proc program 0)) in
+  let aligned = cost (Ba_core.Align.align_proc Ba_core.Align.Cost ~arch profile 0) in
+  Fmt.pr "Figure 2 — the ALVINN self-loop under FALLTHROUGH:@.";
+  Fmt.pr "  iterations                   : %d@." (visits 1);
+  Fmt.pr "  original branch cost         : %.0f cycles (~5/iteration)@." orig;
+  Fmt.pr "  Cost-aligned (invert + jump) : %.0f cycles (~3/iteration)@." aligned;
+  Fmt.pr "  reduction                    : %.0f%%@.@."
+    (100.0 *. (1.0 -. (aligned /. orig)))
+
+(* -- Part 2: the Figure 3 loop ------------------------------------------- *)
+
+let figure3_program =
+  let main =
+    Proc.make ~name:"figure3"
+      [|
+        (* E *) Block.make ~insns:1 (Term.Jump 1);
+        (* A *)
+        Block.make ~insns:1
+          (Term.Cond { on_true = 2; on_false = 4; behavior = Behavior.Loop 9000 });
+        (* B *) Block.make ~insns:1 (Term.Jump 3);
+        (* C *) Block.make ~insns:1 (Term.Jump 1);
+        (* D *) Block.make ~insns:1 Term.Halt;
+      |]
+  in
+  Program.make ~name:"figure3" ~seed:42 [| main |]
+
+let () =
+  let program = figure3_program in
+  let profile = Ba_exec.Engine.profile_program ~max_steps:100_000 program in
+  let proc = Program.proc program 0 in
+  let visits b = Ba_cfg.Profile.visits profile 0 b in
+  let cond_counts b = Ba_cfg.Profile.cond_counts profile 0 b in
+  let cost ~arch decision =
+    Ba_core.Layout_cost.branch_cost ~arch ~visits ~cond_counts
+      (Ba_layout.Lower.lower ~cond_counts proc decision)
+  in
+  let arch = Ba_core.Cost_model.Likely in
+  let original = Ba_layout.Decision.of_order [| 0; 1; 4; 2; 3 |] in
+  let paper_transform = Ba_layout.Decision.of_order [| 0; 1; 2; 3; 4 |] in
+  let try15 = Ba_core.Align.align_proc (Ba_core.Align.Tryn 15) ~arch profile 0 in
+  Fmt.pr "Figure 3 — loop alignment under the LIKELY model:@.";
+  Fmt.pr "  original layout [E A D B C]    : %.0f cycles (paper: 36,002)@."
+    (cost ~arch original);
+  Fmt.pr "  paper's transformed [E A B C D]: %.0f cycles (paper: 27,004)@."
+    (cost ~arch paper_transform);
+  Fmt.pr "  Try15's layout %a: %.0f cycles@." Ba_layout.Decision.pp try15
+    (cost ~arch try15);
+  Fmt.pr
+    "@.Try15 keeps the whole likely path of the loop in one chain (the paper's@.\
+     \"ideally, we want the most likely path through the loop to be in a single@.\
+     chain\"), removing the unconditional branch entirely.@."

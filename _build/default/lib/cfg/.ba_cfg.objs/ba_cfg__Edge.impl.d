@@ -1,0 +1,1 @@
+lib/cfg/edge.ml: Array Ba_ir Fmt List Stdlib

@@ -1,0 +1,1 @@
+lib/cfg/edge.mli: Ba_ir Format

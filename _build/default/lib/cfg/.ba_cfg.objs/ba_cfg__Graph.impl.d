@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Ba_ir Block Buffer Edge List Printf Proc Profile Term

@@ -1,0 +1,1 @@
+lib/cfg/profile.ml: Array Ba_ir Block Edge List Proc Program Term

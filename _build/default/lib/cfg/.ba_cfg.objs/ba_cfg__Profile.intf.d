@@ -1,0 +1,1 @@
+lib/cfg/profile.mli: Ba_ir Edge

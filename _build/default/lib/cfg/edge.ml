@@ -1,0 +1,31 @@
+type kind = On_true | On_false | Flow | Case of int
+
+type t = { src : Ba_ir.Term.block_id; dst : Ba_ir.Term.block_id; kind : kind }
+
+let compare = Stdlib.compare
+
+let is_alignable e =
+  match e.kind with On_true | On_false | Flow -> true | Case _ -> false
+
+let of_block src (blk : Ba_ir.Block.t) =
+  match blk.term with
+  | Ba_ir.Term.Jump dst -> [ { src; dst; kind = Flow } ]
+  | Ba_ir.Term.Cond { on_true; on_false; _ } ->
+    [ { src; dst = on_true; kind = On_true }; { src; dst = on_false; kind = On_false } ]
+  | Ba_ir.Term.Switch { targets } ->
+    Array.to_list (Array.mapi (fun i (dst, _) -> { src; dst; kind = Case i }) targets)
+  | Ba_ir.Term.Call { next; _ } | Ba_ir.Term.Vcall { next; _ } ->
+    [ { src; dst = next; kind = Flow } ]
+  | Ba_ir.Term.Ret | Ba_ir.Term.Halt -> []
+
+let of_proc p =
+  List.concat
+    (Array.to_list (Array.mapi of_block p.Ba_ir.Proc.blocks))
+
+let pp_kind ppf = function
+  | On_true -> Fmt.string ppf "T"
+  | On_false -> Fmt.string ppf "F"
+  | Flow -> Fmt.string ppf "flow"
+  | Case i -> Fmt.pf ppf "case%d" i
+
+let pp ppf e = Fmt.pf ppf "b%d -%a-> b%d" e.src pp_kind e.kind e.dst

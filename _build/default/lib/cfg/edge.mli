@@ -1,0 +1,27 @@
+(** Control-flow edges.
+
+    An edge is identified by its source block and its kind; since a
+    conditional branch has distinct targets (enforced by {!Ba_ir.Proc.validate})
+    this identification is unique for all alignable edges. *)
+
+type kind =
+  | On_true  (** the conditional's condition held *)
+  | On_false  (** the conditional's condition failed *)
+  | Flow
+      (** the single successor of a [Jump] block or the continuation of a
+          [Call]/[Vcall] block *)
+  | Case of int  (** switch edge, by target index; never alignable *)
+
+type t = { src : Ba_ir.Term.block_id; dst : Ba_ir.Term.block_id; kind : kind }
+
+val compare : t -> t -> int
+
+val is_alignable : t -> bool
+(** The paper aligns only edges out of blocks with out-degree one or two:
+    conditional legs and fall-through/jump successors.  Switch (indirect)
+    edges are never alignable. *)
+
+val of_proc : Ba_ir.Proc.t -> t list
+(** Every edge of the procedure, in block order. *)
+
+val pp : Format.formatter -> t -> unit

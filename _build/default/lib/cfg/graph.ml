@@ -1,0 +1,86 @@
+open Ba_ir
+
+let successors p b = Term.successors (Proc.block p b).Block.term
+
+let dfs_preorder p =
+  let n = Proc.n_blocks p in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec visit b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      order := b :: !order;
+      List.iter visit (successors p b)
+    end
+  in
+  visit Proc.entry;
+  Array.of_list (List.rev !order)
+
+let back_edges p =
+  let n = Proc.n_blocks p in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let state = Array.make n 0 in
+  let edges = ref [] in
+  let rec visit b =
+    state.(b) <- 1;
+    List.iter
+      (fun s ->
+        if state.(s) = 1 then edges := (b, s) :: !edges
+        else if state.(s) = 0 then visit s)
+      (successors p b);
+    state.(b) <- 2
+  in
+  visit Proc.entry;
+  List.rev !edges
+
+let loop_depth p =
+  let n = Proc.n_blocks p in
+  let preds = Proc.predecessors p in
+  let depth = Array.make n 0 in
+  (* For each back edge (tail, header), the natural loop body is the header
+     plus every block that reaches the tail without passing through the
+     header. *)
+  let mark (tail, header) =
+    let in_loop = Array.make n false in
+    in_loop.(header) <- true;
+    let rec pull b =
+      if not in_loop.(b) then begin
+        in_loop.(b) <- true;
+        List.iter pull preds.(b)
+      end
+    in
+    pull tail;
+    Array.iteri (fun b inside -> if inside then depth.(b) <- depth.(b) + 1) in_loop
+  in
+  List.iter mark (back_edges p);
+  depth
+
+let dot ?profile p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box];\n";
+  Array.iteri
+    (fun b (blk : Block.t) ->
+      let extra =
+        match profile with
+        | Some (prof, pid) -> Printf.sprintf "\\nvisits=%d" (Profile.visits prof pid b)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"b%d (%d)%s\"];\n" b b blk.insns extra))
+    p.Proc.blocks;
+  List.iter
+    (fun (e : Edge.t) ->
+      let label =
+        match profile with
+        | Some (prof, pid) -> Printf.sprintf " [label=\"%d\"]" (Profile.edge_weight prof pid e)
+        | None -> (
+          match e.kind with
+          | Edge.On_true -> " [label=\"T\"]"
+          | Edge.On_false -> " [label=\"F\"]"
+          | Edge.Flow -> ""
+          | Edge.Case i -> Printf.sprintf " [label=\"case %d\"]" i)
+      in
+      Buffer.add_string buf (Printf.sprintf "  b%d -> b%d%s;\n" e.src e.dst label))
+    (Edge.of_proc p);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

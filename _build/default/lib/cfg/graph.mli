@@ -1,0 +1,21 @@
+(** Graph utilities over a procedure's control-flow graph. *)
+
+val dfs_preorder : Ba_ir.Proc.t -> Ba_ir.Term.block_id array
+(** Depth-first preorder from the entry block, following successors in
+    terminator order.  Only reachable blocks appear (validation guarantees
+    all are). *)
+
+val back_edges : Ba_ir.Proc.t -> (Ba_ir.Term.block_id * Ba_ir.Term.block_id) list
+(** Retreating edges of the DFS: [(src, dst)] where [dst] is an ancestor of
+    [src] on the DFS stack (or [src] itself for self-loops).  Alignment
+    heuristics use these as "this taken branch will likely point backward"
+    hints before final addresses are known. *)
+
+val loop_depth : Ba_ir.Proc.t -> int array
+(** A simple nesting-depth estimate per block: the number of back-edge
+    natural loops whose body contains the block. *)
+
+val dot :
+  ?profile:(Profile.t * Ba_ir.Term.proc_id) -> Ba_ir.Proc.t -> string
+(** GraphViz rendering of the CFG, with edge weights when a profile is
+    supplied; handy for debugging workloads and for the examples. *)

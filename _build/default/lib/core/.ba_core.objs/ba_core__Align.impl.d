@@ -1,0 +1,1 @@
+lib/core/align.ml: Array Ba_cfg Ba_ir Ba_layout Cost_align Cost_model Ctx Greedy Printf Tryn

@@ -1,0 +1,1 @@
+lib/core/align.mli: Ba_cfg Ba_ir Ba_layout Cost_model

@@ -1,0 +1,1 @@
+lib/core/cost_align.ml: Array Ba_cfg Ba_ir Ba_layout Chain Cost_model Ctx List Options

@@ -1,0 +1,1 @@
+lib/core/cost_align.mli: Ba_layout Cost_model Ctx

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Array Ba_cfg Ba_ir Ba_layout Block Hashtbl List Proc Program Term

@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Ba_cfg Ba_ir Ba_layout

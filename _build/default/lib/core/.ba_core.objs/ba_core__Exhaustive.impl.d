@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Ba_cfg Ba_ir Ba_layout Block Cost_model Decision Layout_cost List Lower Printf Proc Program Term

@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Ba_cfg Ba_ir Ba_layout Cost_model

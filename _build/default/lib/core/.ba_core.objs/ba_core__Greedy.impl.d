@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Ba_cfg Ba_layout Ctx List

@@ -1,0 +1,1 @@
+lib/core/layout_cost.ml: Array Ba_layout Cost_model Linear

@@ -1,0 +1,1 @@
+lib/core/layout_cost.mli: Ba_ir Ba_layout Cost_model

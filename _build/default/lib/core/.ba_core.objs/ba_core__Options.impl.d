@@ -1,0 +1,1 @@
+lib/core/options.ml: Ba_ir Ba_layout Chain Cost_model Ctx Decision List

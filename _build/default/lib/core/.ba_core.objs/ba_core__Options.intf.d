@@ -1,0 +1,1 @@
+lib/core/options.mli: Ba_ir Ba_layout Cost_model Ctx

@@ -1,0 +1,1 @@
+lib/core/tryn.ml: Array Ba_cfg Ba_ir Ba_layout Chain Cost_model Ctx Hashtbl List Options

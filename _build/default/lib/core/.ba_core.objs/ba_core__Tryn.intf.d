@@ -1,0 +1,1 @@
+lib/core/tryn.mli: Ba_layout Cost_model Ctx

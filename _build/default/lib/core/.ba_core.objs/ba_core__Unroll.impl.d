@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Array Ba_ir Behavior Block Hashtbl List Proc Program Term

@@ -1,0 +1,53 @@
+type algo = Original | Greedy | Cost | Tryn of int
+
+let algo_name = function
+  | Original -> "Orig"
+  | Greedy -> "Greedy"
+  | Cost -> "Cost"
+  | Tryn n -> Printf.sprintf "Try%d" n
+
+let run_algo algo ~arch ?table ?min_weight ctx =
+  match algo with
+  | Original -> invalid_arg "Align.run_algo: Original has no chains"
+  | Greedy -> Greedy.build_chains ctx
+  | Cost -> Cost_align.build_chains ~arch ?table ctx
+  | Tryn n -> Tryn.build_chains ~arch ?table ~n ?min_weight ctx
+
+let align_proc algo ?strategy ?(arch = Cost_model.Btfnt) ?table ?min_weight
+    ?(refine_rounds = 1) profile pid =
+  let program = Ba_cfg.Profile.program profile in
+  let proc = Ba_ir.Program.proc program pid in
+  match algo with
+  | Original -> Ba_layout.Decision.identity proc
+  | Greedy | Cost | Tryn _ ->
+    if refine_rounds < 1 then invalid_arg "Align.align_proc: refine_rounds must be >= 1";
+    let base_ctx = Ctx.of_profile profile pid in
+    let one_round ctx =
+      Ctx.to_decision ?strategy ctx (run_algo algo ~arch ?table ?min_weight ctx)
+    in
+    (* Round one guesses taken-branch directions from DFS back edges; each
+       further round re-aligns knowing the previous layout's actual block
+       positions — closing the gap the paper notes for BT/FNT ("it is not
+       known where the taken branch will be located ... until the chains
+       are formed and laid out"). *)
+    let rec refine round decision =
+      if round >= refine_rounds then decision
+      else begin
+        let pos = Ba_layout.Decision.position decision in
+        let ctx = Ctx.with_direction base_ctx (fun s d -> pos.(d) <= pos.(s)) in
+        refine (round + 1) (one_round ctx)
+      end
+    in
+    refine 1 (one_round base_ctx)
+
+let align_program algo ?strategy ?arch ?table ?min_weight ?refine_rounds profile =
+  let program = Ba_cfg.Profile.program profile in
+  Array.init (Ba_ir.Program.n_procs program) (fun pid ->
+      align_proc algo ?strategy ?arch ?table ?min_weight ?refine_rounds profile pid)
+
+let image algo ?strategy ?arch ?table ?min_weight ?refine_rounds profile =
+  let program = Ba_cfg.Profile.program profile in
+  let decisions =
+    align_program algo ?strategy ?arch ?table ?min_weight ?refine_rounds profile
+  in
+  Ba_layout.Image.build ~profile program decisions

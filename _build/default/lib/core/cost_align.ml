@@ -1,0 +1,79 @@
+open Ba_layout
+
+(* How much does predecessor [p] gain from having [d] as its fall-through,
+   under the current chain state?  Used for the paper's "examine all the
+   predecessors of D" refinement. *)
+let benefit_of_getting ~arch ~table (ctx : Ctx.t) chain p d =
+  if not (Chain.can_link chain ~src:p ~dst:d) then 0.0
+  else
+    match Ctx.cond_legs ctx p with
+    | Some legs -> begin
+      match Options.feasible ~arch ~table ctx chain p ~legs with
+      | [] -> 0.0
+      | options ->
+        let with_d =
+          List.filter
+            (fun (k, _) -> match k with Options.Fall_to x -> x = d | Options.Neither _ -> false)
+            options
+        in
+        let without_d =
+          List.filter
+            (fun (k, _) -> match k with Options.Fall_to x -> x <> d | Options.Neither _ -> true)
+            options
+        in
+        let best l = match l with [] -> infinity | (_, c) :: _ -> c in
+        max 0.0 (best without_d -. best with_d)
+    end
+    | None -> (
+      (* Single-exit block: the gain is the saved unconditional branch. *)
+      match (Ba_ir.Proc.block ctx.Ctx.proc p).Ba_ir.Block.term with
+      | Ba_ir.Term.Jump d' | Ba_ir.Term.Call { next = d'; _ } | Ba_ir.Term.Vcall { next = d'; _ }
+        when d' = d ->
+        float_of_int (ctx.Ctx.visits p) *. Cost_model.uncond_cost arch table
+      | _ -> 0.0)
+
+let build_chains ~arch ?(table = Cost_model.default_table) (ctx : Ctx.t) =
+  let chain = Ctx.fresh_chain ctx in
+  let decided = Array.make (Ba_ir.Proc.n_blocks ctx.Ctx.proc) false in
+  let process ((e : Ba_cfg.Edge.t), _w) =
+    let s = e.src and d = e.dst in
+    if not decided.(s) then
+      match Ctx.cond_legs ctx s with
+      | None ->
+        (* Single-exit block: a fall-through strictly dominates a jump, so
+           link whenever possible (heavier competitors for [d] were
+           processed first). *)
+        if Chain.can_link chain ~src:s ~dst:d then begin
+          Chain.link chain ~src:s ~dst:d;
+          decided.(s) <- true
+        end
+      | Some legs -> begin
+        match Options.feasible ~arch ~table ctx chain s ~legs with
+        | [] -> ()
+        | (best_kind, best_cost) :: rest -> begin
+          let runner_up = match rest with [] -> infinity | (_, c) :: _ -> c in
+          match best_kind with
+          | Options.Fall_to dst ->
+            (* Decline the link if another predecessor of [dst] stands to
+               gain more from the fall-through slot than we do. *)
+            let my_benefit = runner_up -. best_cost in
+            let rival_benefit =
+              List.fold_left
+                (fun acc p ->
+                  if p = s then acc
+                  else max acc (benefit_of_getting ~arch ~table ctx chain p dst))
+                0.0 ctx.Ctx.preds.(dst)
+            in
+            if rival_benefit > my_benefit then ()
+            else begin
+              Chain.link chain ~src:s ~dst:dst;
+              decided.(s) <- true
+            end
+          | Options.Neither jump_leg ->
+            Chain.forbid_fallthrough ~jump_leg chain s;
+            decided.(s) <- true
+        end
+      end
+  in
+  List.iter process ctx.Ctx.edges;
+  chain

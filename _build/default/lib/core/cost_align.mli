@@ -1,0 +1,22 @@
+(** The paper's "Cost" alignment algorithm (§4).
+
+    Like Greedy, edges are processed from heaviest to lightest, but each
+    link is decided against the target architecture's cost model:
+
+    - for a single-exit block, aligning the edge as a fall-through is
+      compared with leaving an unconditional branch;
+    - for a conditional, three placements are compared — either leg as the
+      fall-through, or {e neither} (insert a jump on the heavier leg), the
+      transformation that pays off for tight loops under FALLTHROUGH and
+      BT/FNT;
+    - before claiming block [D] as [S]'s fall-through, the other
+      predecessors of [D] are examined: if one of them would benefit more
+      from having [D] as its fall-through, the link is declined (§4: "We
+      examine all the predecessors of D ...").
+
+    Branch direction (for BT/FNT) is estimated from DFS back edges, since
+    final addresses are unknown during chain formation — the difficulty the
+    paper notes for the BT/FNT architecture. *)
+
+val build_chains :
+  arch:Cost_model.arch -> ?table:Cost_model.table -> Ctx.t -> Ba_layout.Chain.t

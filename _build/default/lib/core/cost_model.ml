@@ -1,0 +1,77 @@
+type arch = Fallthrough | Btfnt | Likely | Pht | Btb
+
+let arch_name = function
+  | Fallthrough -> "FALLTHROUGH"
+  | Btfnt -> "BT/FNT"
+  | Likely -> "LIKELY"
+  | Pht -> "PHT"
+  | Btb -> "BTB"
+
+let all_arches = [ Fallthrough; Btfnt; Likely; Pht; Btb ]
+
+type table = { instruction : float; misfetch : float; mispredict : float }
+
+let default_table = { instruction = 1.0; misfetch = 1.0; mispredict = 4.0 }
+
+let pht_accuracy = 0.9
+let btb_hit_rate = 0.9
+
+let uncond_cost arch t =
+  match arch with
+  | Fallthrough | Btfnt | Likely | Pht -> t.instruction +. t.misfetch
+  | Btb -> t.instruction +. ((1.0 -. btb_hit_rate) *. t.misfetch)
+
+(* Per-traversal cost of one leg of a conditional branch. *)
+let taken_leg_cost arch t ~predicted_taken =
+  match arch with
+  | Fallthrough | Btfnt | Likely ->
+    if predicted_taken then t.instruction +. t.misfetch
+    else t.instruction +. t.mispredict
+  | Pht ->
+    t.instruction
+    +. (pht_accuracy *. t.misfetch)
+    +. ((1.0 -. pht_accuracy) *. t.mispredict)
+  | Btb ->
+    (* A BTB hit redirects fetch with no misfetch; the misfetch survives
+       only on the assumed misses, and mispredicts on the assumed 10%. *)
+    t.instruction
+    +. (pht_accuracy *. (1.0 -. btb_hit_rate) *. t.misfetch)
+    +. ((1.0 -. pht_accuracy) *. t.mispredict)
+
+let fall_leg_cost arch t ~predicted_taken =
+  match arch with
+  | Fallthrough | Btfnt | Likely ->
+    if predicted_taken then t.instruction +. t.mispredict else t.instruction
+  | Pht | Btb -> t.instruction +. ((1.0 -. pht_accuracy) *. t.mispredict)
+
+let predicted_taken arch ~w_taken ~w_fall ~taken_backward =
+  match arch with
+  | Fallthrough -> false
+  | Btfnt -> taken_backward
+  | Likely -> w_taken >= w_fall
+  | Pht | Btb -> false (* unused: the dynamic legs cost by accuracy, not rule *)
+
+let cond_cost arch t ~w_taken ~w_fall ~taken_backward =
+  let predicted_taken = predicted_taken arch ~w_taken ~w_fall ~taken_backward in
+  (w_taken *. taken_leg_cost arch t ~predicted_taken)
+  +. (w_fall *. fall_leg_cost arch t ~predicted_taken)
+
+let cond_neither_cost arch t ~w_jump ~w_taken ~taken_backward =
+  (* The jump leg traverses the conditional not-taken, then an inserted
+     unconditional jump. *)
+  cond_cost arch t ~w_taken ~w_fall:w_jump ~taken_backward
+  +. (w_jump *. uncond_cost arch t)
+
+let call_cost arch t =
+  match arch with
+  | Fallthrough | Btfnt | Likely | Pht -> t.instruction +. t.misfetch
+  | Btb -> t.instruction +. ((1.0 -. btb_hit_rate) *. t.misfetch)
+
+let indirect_cost arch t =
+  match arch with
+  | Fallthrough | Btfnt | Likely | Pht -> t.instruction +. t.mispredict
+  | Btb ->
+    t.instruction
+    +. ((1.0 -. btb_hit_rate) *. t.mispredict)
+
+let return_cost t = t.instruction

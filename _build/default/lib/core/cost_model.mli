@@ -1,0 +1,70 @@
+(** The paper's architectural cost models (Table 1 and §6).
+
+    Alignment decisions are driven by per-traversal branch costs, in cycles,
+    including the branch instruction itself:
+
+    {v
+    Unconditional branch               2   (instruction + misfetch)
+    Correctly predicted fall-through   1   (instruction)
+    Correctly predicted taken          2   (instruction + misfetch)
+    Mispredicted                       5   (instruction + mispredict)
+    v}
+
+    For the dynamic architectures the paper adjusts the model rather than
+    simulating the predictor inside the optimizer: conditional branches are
+    assumed mispredicted 10% of the time, and the BTB is additionally
+    assumed to miss 10% of taken branches (removing the misfetch on the 90%
+    it hits). *)
+
+type arch = Fallthrough | Btfnt | Likely | Pht | Btb
+
+val arch_name : arch -> string
+val all_arches : arch list
+
+type table = {
+  instruction : float;  (** base cost of executing the branch instruction *)
+  misfetch : float;  (** pipeline bubble of a correctly-predicted redirect *)
+  mispredict : float;  (** penalty of a wrong prediction *)
+}
+
+val default_table : table
+(** The paper's numbers: instruction 1, misfetch 1, mispredict 4. *)
+
+val pht_accuracy : float
+(** Assumed conditional accuracy of the dynamic predictors (0.9). *)
+
+val btb_hit_rate : float
+(** Assumed BTB hit rate on taken branches (0.9). *)
+
+val uncond_cost : arch -> table -> float
+(** Per-traversal cost of an unconditional branch: [instruction + misfetch]
+    for the static and PHT architectures; under a BTB the misfetch is paid
+    only on the assumed 10% misses. *)
+
+val cond_cost :
+  arch -> table -> w_taken:float -> w_fall:float -> taken_backward:bool -> float
+(** Total cost of a conditional branch site whose taken leg is traversed
+    [w_taken] times and fall-through leg [w_fall] times, with the taken
+    target placed before ([taken_backward]) or after the branch.  The
+    predicted direction follows the architecture: FALLTHROUGH predicts
+    not-taken, BT/FNT predicts by [taken_backward], LIKELY predicts the
+    majority leg, and the dynamic models use {!pht_accuracy}. *)
+
+val cond_neither_cost :
+  arch -> table -> w_jump:float -> w_taken:float -> taken_backward:bool -> float
+(** Cost of the "align neither edge" lowering: the leg traversed [w_jump]
+    times goes not-taken through an inserted unconditional jump, the other
+    leg ([w_taken]) is the taken target.  This is the transformation that
+    turns a 5-cycle single-block loop iteration into 3 cycles under
+    FALLTHROUGH (§4, Cost). *)
+
+val call_cost : arch -> table -> float
+(** Direct call: instruction + misfetch (BTB: misfetch on miss only). *)
+
+val indirect_cost : arch -> table -> float
+(** Indirect jump or indirect call: mispredicted for the static and PHT
+    architectures; a BTB predicts it with the assumed hit rate. *)
+
+val return_cost : table -> float
+(** Returns predicted by the return stack are free beyond the instruction
+    itself (§6). *)

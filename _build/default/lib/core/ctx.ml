@@ -1,0 +1,54 @@
+open Ba_ir
+
+type t = {
+  proc : Proc.t;
+  edges : (Ba_cfg.Edge.t * int) list;
+  visits : Term.block_id -> int;
+  cond_counts : Term.block_id -> int * int;
+  edge_weight : Ba_cfg.Edge.t -> int;
+  is_back_edge : Term.block_id -> Term.block_id -> bool;
+  preds : Term.block_id list array;
+}
+
+let of_profile profile pid =
+  let proc = Program.proc (Ba_cfg.Profile.program profile) pid in
+  let back =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace tbl e ()) (Ba_cfg.Graph.back_edges proc);
+    tbl
+  in
+  {
+    proc;
+    edges = Ba_cfg.Profile.alignable_edges profile pid;
+    visits = (fun b -> Ba_cfg.Profile.visits profile pid b);
+    cond_counts = (fun b -> Ba_cfg.Profile.cond_counts profile pid b);
+    edge_weight = (fun e -> Ba_cfg.Profile.edge_weight profile pid e);
+    is_back_edge = (fun src dst -> Hashtbl.mem back (src, dst));
+    preds = Proc.predecessors proc;
+  }
+
+let with_direction t is_back_edge = { t with is_back_edge }
+
+let fresh_chain t =
+  let chain = Ba_layout.Chain.create (Proc.n_blocks t.proc) in
+  Ba_layout.Chain.pin_head chain Proc.entry;
+  chain
+
+let cond_legs t b =
+  match (Proc.block t.proc b).Block.term with
+  | Term.Cond { on_true; on_false; _ } ->
+    let n_true, n_false = t.cond_counts b in
+    Some ((on_true, n_true), (on_false, n_false))
+  | Term.Jump _ | Term.Switch _ | Term.Call _ | Term.Vcall _ | Term.Ret | Term.Halt
+    -> None
+
+let to_decision ?(strategy = Ba_layout.Chain_order.Weight_desc) t chain =
+  let chains = Ba_layout.Chain.chains chain in
+  let ordered =
+    Ba_layout.Chain_order.order strategy t.proc ~weight:t.visits
+      ~edge_weight:t.edge_weight chains
+  in
+  let neither =
+    Array.init (Proc.n_blocks t.proc) (Ba_layout.Chain.forced_neither chain)
+  in
+  Ba_layout.Decision.of_chains ~neither ordered

@@ -1,0 +1,42 @@
+(** Shared per-procedure context for the alignment algorithms: the weighted
+    alignable-edge worklist and the profile/CFG lookups every heuristic
+    needs. *)
+
+type t = {
+  proc : Ba_ir.Proc.t;
+  edges : (Ba_cfg.Edge.t * int) list;  (** alignable edges, weight-descending *)
+  visits : Ba_ir.Term.block_id -> int;
+  cond_counts : Ba_ir.Term.block_id -> int * int;
+  edge_weight : Ba_cfg.Edge.t -> int;
+  is_back_edge : Ba_ir.Term.block_id -> Ba_ir.Term.block_id -> bool;
+      (** DFS-retreating edge — the heuristics' stand-in for "this taken
+          branch will point backward", before final addresses exist *)
+  preds : Ba_ir.Term.block_id list array;
+}
+
+val of_profile : Ba_cfg.Profile.t -> Ba_ir.Term.proc_id -> t
+
+val with_direction :
+  t -> (Ba_ir.Term.block_id -> Ba_ir.Term.block_id -> bool) -> t
+(** Replace the branch-direction oracle.  Used by iterative refinement: a
+    first alignment pass guesses directions from DFS back edges; subsequent
+    passes know the actual positions of the previous layout. *)
+
+val fresh_chain : t -> Ba_layout.Chain.t
+(** A chain store for the procedure with the entry block pinned as a chain
+    head (no fall-through into the procedure's first address). *)
+
+val cond_legs :
+  t ->
+  Ba_ir.Term.block_id ->
+  ((Ba_ir.Term.block_id * int) * (Ba_ir.Term.block_id * int)) option
+(** For a conditional block, its [(on_true, weight), (on_false, weight)]
+    legs; [None] for any other terminator. *)
+
+val to_decision :
+  ?strategy:Ba_layout.Chain_order.strategy ->
+  t ->
+  Ba_layout.Chain.t ->
+  Ba_layout.Decision.t
+(** Order the chains (default {!Ba_layout.Chain_order.Weight_desc}, the
+    ordering §6.1 found best) and concatenate them into a decision. *)

@@ -1,0 +1,8 @@
+let build_chains (ctx : Ctx.t) =
+  let chain = Ctx.fresh_chain ctx in
+  List.iter
+    (fun ((e : Ba_cfg.Edge.t), _w) ->
+      if Ba_layout.Chain.can_link chain ~src:e.src ~dst:e.dst then
+        Ba_layout.Chain.link chain ~src:e.src ~dst:e.dst)
+    ctx.Ctx.edges;
+  chain

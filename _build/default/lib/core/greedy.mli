@@ -1,0 +1,9 @@
+(** The Pettis & Hansen bottom-up ("greedy") chain-building algorithm
+    (paper §4, "Greedy").
+
+    Edges are visited from heaviest to lightest; an edge [S -> D] links two
+    chains whenever [S] is still a chain tail and [D] a chain head.  The
+    algorithm is architecture-oblivious — it is the baseline the paper's
+    Cost and Try15 algorithms are compared against. *)
+
+val build_chains : Ctx.t -> Ba_layout.Chain.t

@@ -1,0 +1,71 @@
+open Ba_layout
+
+type breakdown = {
+  straight : float;
+  cond : float;
+  uncond : float;
+  calls : float;
+  indirect : float;
+  returns : float;
+  total : float;
+}
+
+let evaluate ~arch ?(table = Cost_model.default_table) ~visits ~cond_counts
+    (linear : Linear.t) =
+  let straight = ref 0.0 in
+  let cond = ref 0.0 in
+  let uncond = ref 0.0 in
+  let calls = ref 0.0 in
+  let indirect = ref 0.0 in
+  let returns = ref 0.0 in
+  let uncond_c = Cost_model.uncond_cost arch table in
+  Array.iteri
+    (fun pos (lb : Linear.lblock) ->
+      let w = float_of_int (visits lb.Linear.src) in
+      straight := !straight +. (w *. float_of_int lb.Linear.insns *. table.Cost_model.instruction);
+      match lb.Linear.term with
+      | Linear.Lnone -> ()
+      | Linear.Ljump _ -> uncond := !uncond +. (w *. uncond_c)
+      | Linear.Lcond { taken_pos; taken_on; inserted_jump } ->
+        let n_true, n_false = cond_counts lb.Linear.src in
+        let w_taken, w_fall =
+          if taken_on then (float_of_int n_true, float_of_int n_false)
+          else (float_of_int n_false, float_of_int n_true)
+        in
+        (* Positions are address-ordered, so a target at or before this
+           block is a backward branch. *)
+        let taken_backward = taken_pos <= pos in
+        cond :=
+          !cond
+          +. Cost_model.cond_cost arch table ~w_taken ~w_fall ~taken_backward;
+        (match inserted_jump with
+        | Some _ -> uncond := !uncond +. (w_fall *. uncond_c)
+        | None -> ())
+      | Linear.Lswitch _ -> indirect := !indirect +. (w *. Cost_model.indirect_cost arch table)
+      | Linear.Lcall { cont; _ } ->
+        calls := !calls +. (w *. Cost_model.call_cost arch table);
+        (match cont with
+        | Linear.Jump_to _ -> uncond := !uncond +. (w *. uncond_c)
+        | Linear.Fall -> ())
+      | Linear.Lvcall { cont; _ } ->
+        indirect := !indirect +. (w *. Cost_model.indirect_cost arch table);
+        (match cont with
+        | Linear.Jump_to _ -> uncond := !uncond +. (w *. uncond_c)
+        | Linear.Fall -> ())
+      | Linear.Lret -> returns := !returns +. (w *. Cost_model.return_cost table)
+      | Linear.Lhalt -> returns := !returns +. (w *. table.Cost_model.instruction))
+    linear.Linear.blocks;
+  let total = !straight +. !cond +. !uncond +. !calls +. !indirect +. !returns in
+  {
+    straight = !straight;
+    cond = !cond;
+    uncond = !uncond;
+    calls = !calls;
+    indirect = !indirect;
+    returns = !returns;
+    total;
+  }
+
+let branch_cost ~arch ?table ~visits ~cond_counts linear =
+  let b = evaluate ~arch ?table ~visits ~cond_counts linear in
+  b.total -. b.straight

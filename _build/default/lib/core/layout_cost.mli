@@ -1,0 +1,41 @@
+(** Exact cost of a lowered layout under a cost model.
+
+    Whereas the alignment heuristics estimate costs before the final block
+    order is known (guessing branch directions from DFS back edges), this
+    module scores a finished {!Ba_layout.Linear.t} exactly: taken-branch
+    direction comes from real layout positions, fall-throughs from real
+    adjacency.  It is the objective the paper's Figure 3 cycle counts are
+    computed with, and the regression tests use it to verify that the
+    smarter algorithms never lose to the simpler ones under their own
+    model. *)
+
+type breakdown = {
+  straight : float;  (** straight-line instruction cycles *)
+  cond : float;  (** conditional branch cycles, inserted jumps included *)
+  uncond : float;  (** unconditional branch cycles (jumps, call continuations) *)
+  calls : float;  (** direct call cycles *)
+  indirect : float;  (** switch / vcall cycles *)
+  returns : float;
+  total : float;
+}
+
+val evaluate :
+  arch:Cost_model.arch ->
+  ?table:Cost_model.table ->
+  visits:(Ba_ir.Term.block_id -> int) ->
+  cond_counts:(Ba_ir.Term.block_id -> int * int) ->
+  Ba_layout.Linear.t ->
+  breakdown
+(** [visits] and [cond_counts] come from a {!Ba_cfg.Profile}; counts are the
+    semantic per-block numbers, so the same profile scores every layout of
+    the procedure. *)
+
+val branch_cost :
+  arch:Cost_model.arch ->
+  ?table:Cost_model.table ->
+  visits:(Ba_ir.Term.block_id -> int) ->
+  cond_counts:(Ba_ir.Term.block_id -> int * int) ->
+  Ba_layout.Linear.t ->
+  float
+(** [evaluate] minus the layout-independent straight-line component — the
+    "branch execution cost" the paper quotes for Figure 3. *)

@@ -1,0 +1,51 @@
+open Ba_layout
+
+type kind = Fall_to of Ba_ir.Term.block_id | Neither of Decision.jump_leg
+
+let cost ~arch ~table (ctx : Ctx.t) s ~legs kind =
+  let (d1, w1), (d2, w2) = legs in
+  let fw = float_of_int in
+  match kind with
+  | Fall_to d when d = d1 ->
+    Cost_model.cond_cost arch table ~w_taken:(fw w2) ~w_fall:(fw w1)
+      ~taken_backward:(ctx.Ctx.is_back_edge s d2)
+  | Fall_to _ ->
+    Cost_model.cond_cost arch table ~w_taken:(fw w1) ~w_fall:(fw w2)
+      ~taken_backward:(ctx.Ctx.is_back_edge s d1)
+  | Neither leg ->
+    let jump_on_true =
+      match leg with
+      | Decision.Jump_on_true -> true
+      | Decision.Jump_on_false -> false
+      | Decision.Jump_heavier -> w1 >= w2
+    in
+    let w_jump, (d_taken, w_taken) =
+      if jump_on_true then (w1, (d2, w2)) else (w2, (d1, w1))
+    in
+    Cost_model.cond_neither_cost arch table ~w_jump:(fw w_jump) ~w_taken:(fw w_taken)
+      ~taken_backward:(ctx.Ctx.is_back_edge s d_taken)
+
+let feasible ~arch ~table ctx chain s ~legs =
+  let (d1, _), (d2, _) = legs in
+  let candidates =
+    List.filter_map
+      (fun kind ->
+        let ok =
+          match kind with
+          | Fall_to d -> Chain.can_link chain ~src:s ~dst:d
+          | Neither _ -> not (Chain.fallthrough_forbidden chain s)
+        in
+        if ok then Some (kind, cost ~arch ~table ctx s ~legs kind) else None)
+      [
+        Fall_to d1;
+        Fall_to d2;
+        Neither Decision.Jump_on_true;
+        Neither Decision.Jump_on_false;
+      ]
+  in
+  List.stable_sort (fun (_, c1) (_, c2) -> compare c1 c2) candidates
+
+let best_neither ~arch ~table ctx s ~legs =
+  let t = cost ~arch ~table ctx s ~legs (Neither Decision.Jump_on_true) in
+  let f = cost ~arch ~table ctx s ~legs (Neither Decision.Jump_on_false) in
+  if t <= f then (Decision.Jump_on_true, t) else (Decision.Jump_on_false, f)

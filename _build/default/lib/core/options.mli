@@ -1,0 +1,43 @@
+(** Placement options for a conditional branch site, shared by the Cost and
+    TryN algorithms.
+
+    A conditional has four possible lowerings: either leg as the
+    fall-through, or "align neither" with either leg routed through the
+    inserted unconditional jump.  Costs are estimated with the
+    architecture's model, guessing taken-branch direction from DFS back
+    edges (final addresses do not exist yet — the BT/FNT difficulty the
+    paper notes in §6). *)
+
+type kind =
+  | Fall_to of Ba_ir.Term.block_id  (** link this leg as the fall-through *)
+  | Neither of Ba_layout.Decision.jump_leg
+      (** no fall-through; the named leg goes through the inserted jump *)
+
+val cost :
+  arch:Cost_model.arch ->
+  table:Cost_model.table ->
+  Ctx.t ->
+  Ba_ir.Term.block_id ->
+  legs:(Ba_ir.Term.block_id * int) * (Ba_ir.Term.block_id * int) ->
+  kind ->
+  float
+
+val feasible :
+  arch:Cost_model.arch ->
+  table:Cost_model.table ->
+  Ctx.t ->
+  Ba_layout.Chain.t ->
+  Ba_ir.Term.block_id ->
+  legs:(Ba_ir.Term.block_id * int) * (Ba_ir.Term.block_id * int) ->
+  (kind * float) list
+(** All options feasible under the current chain state, cheapest first
+    (stable: fall-through options win cost ties over jump insertion). *)
+
+val best_neither :
+  arch:Cost_model.arch ->
+  table:Cost_model.table ->
+  Ctx.t ->
+  Ba_ir.Term.block_id ->
+  legs:(Ba_ir.Term.block_id * int) * (Ba_ir.Term.block_id * int) ->
+  Ba_layout.Decision.jump_leg * float
+(** The cheaper of the two jump-insertion variants. *)

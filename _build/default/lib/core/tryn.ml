@@ -1,0 +1,156 @@
+open Ba_layout
+
+type decision = Fall | Taken
+
+(* Exact above-baseline cost of conditional site [s] at a search leaf.
+   [leg_status] reports, for each leg, whether it is the chain fall-through
+   (links made by this or earlier groups): legs not linked are taken.  The
+   baseline (one instruction per traversal) is included — it is constant
+   across assignments, so it cancels in comparisons. *)
+let site_cost ~arch ~table (ctx : Ctx.t) chain s =
+  match Ctx.cond_legs ctx s with
+  | None -> 0.0
+  | Some ((d1, w1), (d2, w2)) ->
+    let fw = float_of_int in
+    let fall_leg =
+      match Chain.chain_succ chain s with
+      | Some d when d = d1 -> Some (d1, w1, d2, w2)
+      | Some d when d = d2 -> Some (d2, w2, d1, w1)
+      | Some _ | None -> None
+    in
+    (match fall_leg with
+    | Some (_, w_fall, d_taken, w_taken) ->
+      Cost_model.cond_cost arch table ~w_taken:(fw w_taken) ~w_fall:(fw w_fall)
+        ~taken_backward:(ctx.Ctx.is_back_edge s d_taken)
+    | None ->
+      (* No fall-through: lowering will insert a jump; the commit step picks
+         the cheaper jump leg, so score that choice here. *)
+      let _, cost =
+        Options.best_neither ~arch ~table ctx s ~legs:((d1, w1), (d2, w2))
+      in
+      cost)
+
+let flow_cost ~arch ~table (ctx : Ctx.t) chain s =
+  match Chain.chain_succ chain s with
+  | Some _ -> 0.0
+  | None -> float_of_int (ctx.Ctx.visits s) *. Cost_model.uncond_cost arch table
+
+let is_cond (ctx : Ctx.t) b =
+  match (Ba_ir.Proc.block ctx.Ctx.proc b).Ba_ir.Block.term with
+  | Ba_ir.Term.Cond _ -> true
+  | _ -> false
+
+(* Evaluate the current chain state restricted to the source blocks touched
+   by the group. *)
+let leaf_cost ~arch ~table ctx chain sources =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +.
+      if is_cond ctx s then site_cost ~arch ~table ctx chain s
+      else flow_cost ~arch ~table ctx chain s)
+    0.0 sources
+
+(* Optimistic (lower-bound) cost increment of one decision, for pruning. *)
+let optimistic ~arch ~table (ctx : Ctx.t) ((e : Ba_cfg.Edge.t), w) = function
+  | Fall -> 0.0
+  | Taken ->
+    let fw = float_of_int w in
+    if is_cond ctx e.src then
+      (* Best case for a taken leg: correctly predicted taken. *)
+      fw *. table.Cost_model.misfetch
+    else fw *. Cost_model.uncond_cost arch table
+
+let distinct_sources group =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun ((e : Ba_cfg.Edge.t), _) ->
+      if Hashtbl.mem seen e.src then None
+      else begin
+        Hashtbl.add seen e.src ();
+        Some e.src
+      end)
+    group
+
+(* Search one group: enumerate all feasible Fall/Taken assignments with
+   branch-and-bound, returning the best assignment's links. *)
+let search_group ~arch ~table ctx chain group =
+  let edges = Array.of_list group in
+  let n = Array.length edges in
+  let sources = distinct_sources group in
+  let best_cost = ref infinity in
+  let best_links = ref [] in
+  let current_links = ref [] in
+  let rec go i partial =
+    if partial >= !best_cost then ()
+    else if i = n then begin
+      let cost = leaf_cost ~arch ~table ctx chain sources in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best_links := List.rev !current_links
+      end
+    end
+    else begin
+      let ((e : Ba_cfg.Edge.t), _w) = edges.(i) in
+      (* Try the fall-through placement first (it is never worse in the
+         optimistic bound, so it tends to tighten the bound early). *)
+      if Chain.can_link chain ~src:e.src ~dst:e.dst then begin
+        Chain.link chain ~src:e.src ~dst:e.dst;
+        current_links := (e.src, e.dst) :: !current_links;
+        go (i + 1) (partial +. optimistic ~arch ~table ctx edges.(i) Fall);
+        current_links := List.tl !current_links;
+        Chain.unlink chain ~src:e.src
+      end;
+      go (i + 1) (partial +. optimistic ~arch ~table ctx edges.(i) Taken)
+    end
+  in
+  go 0 0.0;
+  !best_links
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let group, rest = take n [] l in
+    group :: chunk n rest
+
+let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weight = 2)
+    (ctx : Ctx.t) =
+  if n < 1 then invalid_arg "Tryn.build_chains: n must be positive";
+  let chain = Ctx.fresh_chain ctx in
+  let hot, cold = List.partition (fun (_, w) -> w >= min_weight) ctx.Ctx.edges in
+  let processed = Hashtbl.create 64 in
+  List.iter
+    (fun group ->
+      List.iter (fun ((e : Ba_cfg.Edge.t), _) -> Hashtbl.replace processed e ()) group;
+      let links = search_group ~arch ~table ctx chain group in
+      List.iter (fun (src, dst) -> Chain.link chain ~src ~dst) links;
+      (* A conditional whose legs were all considered and left taken was
+         scored as the jump-insertion lowering; pin that decision so a later
+         chain ordering cannot accidentally make a leg adjacent. *)
+      List.iter
+        (fun s ->
+          match Ctx.cond_legs ctx s with
+          | Some (((d1, _), (d2, _)) as legs)
+            when Chain.chain_succ chain s = None
+                 && (not (Chain.fallthrough_forbidden chain s))
+                 && Hashtbl.mem processed { Ba_cfg.Edge.src = s; dst = d1; kind = On_true }
+                 && Hashtbl.mem processed { Ba_cfg.Edge.src = s; dst = d2; kind = On_false }
+            ->
+            let jump_leg, _ = Options.best_neither ~arch ~table ctx s ~legs in
+            Chain.forbid_fallthrough ~jump_leg chain s
+          | Some _ | None -> ())
+        (distinct_sources group))
+    (chunk n hot);
+  (* Cold edges carry no useful cost signal; link them greedily to avoid
+     pointless jumps in never-executed code. *)
+  List.iter
+    (fun ((e : Ba_cfg.Edge.t), _) ->
+      if (not (Hashtbl.mem processed e)) && Chain.can_link chain ~src:e.src ~dst:e.dst
+      then Chain.link chain ~src:e.src ~dst:e.dst)
+    cold;
+  chain

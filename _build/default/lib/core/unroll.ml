@@ -1,0 +1,82 @@
+open Ba_ir
+
+let is_unrollable ~factor (b : Term.block_id) (blk : Block.t) =
+  match blk.term with
+  | Term.Cond { on_true; behavior = Behavior.Loop n; _ } ->
+    on_true = b && n mod factor = 0 && n / factor >= 1
+  | Term.Cond _ | Term.Jump _ | Term.Switch _ | Term.Call _ | Term.Vcall _
+  | Term.Ret | Term.Halt -> false
+
+let unrollable_self_loops program ~factor =
+  let sites = ref [] in
+  Program.iter_blocks program (fun p b blk ->
+      if is_unrollable ~factor b blk then sites := (p, b) :: !sites);
+  List.rev !sites
+
+let unroll_proc ~factor proc =
+  let n = Proc.n_blocks proc in
+  let loops =
+    Array.to_list proc.Proc.blocks
+    |> List.mapi (fun b blk -> (b, blk))
+    |> List.filter (fun (b, blk) -> is_unrollable ~factor b blk)
+    |> List.map fst
+  in
+  if loops = [] then proc
+  else begin
+    (* Copies are appended after the existing blocks, [factor - 1] per
+       rewritten loop, in loop order. *)
+    let first_copy = Hashtbl.create 4 in
+    List.iteri (fun i b -> Hashtbl.add first_copy b (n + (i * (factor - 1)))) loops;
+    let rewrite b (blk : Block.t) =
+      match blk.term with
+      | Term.Cond { on_true; on_false; behavior = Behavior.Loop _ }
+        when on_true = b && Hashtbl.mem first_copy b ->
+        (* The original block becomes copy 0: pure fall into copy 1. *)
+        ignore on_false;
+        Block.make ~insns:blk.insns (Term.Jump (Hashtbl.find first_copy b))
+      | _ -> blk
+    in
+    let base = Array.mapi rewrite proc.Proc.blocks in
+    let copies =
+      List.concat_map
+        (fun b ->
+          let blk = Proc.block proc b in
+          let trips =
+            match blk.Block.term with
+            | Term.Cond { behavior = Behavior.Loop n; _ } -> n
+            | _ -> assert false
+          in
+          let exit_block =
+            match blk.Block.term with
+            | Term.Cond { on_false; _ } -> on_false
+            | _ -> assert false
+          in
+          let c0 = Hashtbl.find first_copy b in
+          List.init (factor - 1) (fun k ->
+              if k < factor - 2 then
+                (* Intermediate copies fall through to the next copy. *)
+                Block.make ~insns:blk.Block.insns (Term.Jump (c0 + k + 1))
+              else
+                (* The last copy carries the rotated loop test. *)
+                Block.make ~insns:blk.Block.insns
+                  (Term.Cond
+                     {
+                       on_true = b;
+                       on_false = exit_block;
+                       behavior = Behavior.Loop (trips / factor);
+                     })))
+        loops
+    in
+    Proc.make ~name:proc.Proc.name (Array.append base (Array.of_list copies))
+  end
+
+let unroll_self_loops ~factor program =
+  if factor < 2 then invalid_arg "Unroll.unroll_self_loops: factor must be >= 2";
+  let procs = Array.map (unroll_proc ~factor) program.Program.procs in
+  let unrolled =
+    Program.make ~name:(program.Program.name ^ "-unrolled") ~seed:program.Program.seed
+      ~main:program.Program.main procs
+  in
+  match Program.validate unrolled with
+  | Ok () -> unrolled
+  | Error e -> invalid_arg ("Unroll: produced invalid program: " ^ e)

@@ -1,0 +1,30 @@
+(** Self-loop unrolling — the paper's suggested ALVINN optimisation (§3).
+
+    For a single-block loop (Figure 2), the paper observes that "simply
+    duplicating the 11-instruction basic block and then inverting
+    (aligning) the branch condition ... would offer some performance
+    improvement", even ignoring the other benefits of loop unrolling: the
+    duplicated copies need no conditional branch at all, so both the
+    misfetch traffic and the number of executed branches drop.
+
+    [unroll_self_loops ~factor p] rewrites every block of the form
+
+    {v   B: insns; if continue goto B else goto X   v}
+
+    whose behaviour is a counted [Loop n] with [factor | n] into [factor]
+    copies laid out consecutively: copies [1 .. factor-1] are straight-line
+    blocks falling into the next copy, and the last copy carries the
+    conditional with a [Loop (n / factor)] behaviour branching back to the
+    first copy.  The transformed program performs exactly the same
+    straight-line work per loop entry ([n] executions of the body) with
+    [n / factor] conditional branches instead of [n].
+
+    Loops whose trip count is not divisible by [factor], non-counted
+    self-loops, and everything else are left untouched. *)
+
+val unroll_self_loops : factor:int -> Ba_ir.Program.t -> Ba_ir.Program.t
+(** Raises [Invalid_argument] if [factor < 2]. *)
+
+val unrollable_self_loops :
+  Ba_ir.Program.t -> factor:int -> (Ba_ir.Term.proc_id * Ba_ir.Term.block_id) list
+(** The sites the transformation would rewrite. *)

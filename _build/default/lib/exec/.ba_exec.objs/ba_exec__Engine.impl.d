@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Array Ba_cfg Ba_ir Ba_layout Ba_util Behavior Block Event Hashtbl Image Linear Proc Program Term

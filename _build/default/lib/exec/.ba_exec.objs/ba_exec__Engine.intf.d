@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Ba_cfg Ba_ir Ba_layout Event

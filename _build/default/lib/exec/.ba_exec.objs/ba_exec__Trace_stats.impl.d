@@ -1,0 +1,1 @@
+lib/exec/trace_stats.ml: Ba_ir Ba_util Event Hashtbl List Option

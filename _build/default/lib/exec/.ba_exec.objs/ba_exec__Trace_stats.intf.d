@@ -1,0 +1,1 @@
+lib/exec/trace_stats.mli: Ba_ir Event

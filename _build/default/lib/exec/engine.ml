@@ -1,0 +1,210 @@
+open Ba_ir
+open Ba_layout
+
+type result = {
+  insns : int;
+  steps : int;
+  branches : int;
+  completed : bool;
+}
+
+(* Per-site generators must be identical across layouts of the same program,
+   so they are derived from the program seed and the site's semantic identity
+   only.  SplitMix64's output mixer makes nearby seeds produce independent
+   streams. *)
+let site_seed program_seed p b salt =
+  program_seed lxor (p * 0x9E3779B9) lxor (b * 0x85EBCA6B) lxor (salt * 0xC2B2AE35)
+
+let weighted_index rng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let x = Ba_util.Rng.float rng total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let cond_behavior (image : Image.t) p b =
+  let proc = Program.proc image.Image.program p in
+  match (Proc.block proc b).Block.term with
+  | Term.Cond { behavior; _ } -> behavior
+  | _ -> invalid_arg "Engine: conditional layout block without conditional terminator"
+
+type site_state = { behavior : Behavior.t; state : Behavior.state }
+
+type resume =
+  | Next_pos of int  (* continue at this layout position of the caller *)
+  | Via_jump of { jump_pc : int; target_pos : int }
+
+type frame = { frame_proc : Term.proc_id; resume : resume }
+
+let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profile
+    ?(max_steps = 1_000_000) (image : Image.t) =
+  let program = image.Image.program in
+  let seed = program.Program.seed in
+  let cond_sites : (int * int, site_state) Hashtbl.t = Hashtbl.create 256 in
+  let choice_rngs : (int * int * int, Ba_util.Rng.t) Hashtbl.t = Hashtbl.create 64 in
+  let cond_site p b =
+    match Hashtbl.find_opt cond_sites (p, b) with
+    | Some s -> s
+    | None ->
+      let behavior = cond_behavior image p b in
+      let rng = Ba_util.Rng.create (site_seed seed p b 1) in
+      let s = { behavior; state = Behavior.init_state behavior rng } in
+      Hashtbl.add cond_sites (p, b) s;
+      s
+  in
+  let choice_rng p b salt =
+    match Hashtbl.find_opt choice_rngs (p, b, salt) with
+    | Some r -> r
+    | None ->
+      let r = Ba_util.Rng.create (site_seed seed p b salt) in
+      Hashtbl.add choice_rngs (p, b, salt) r;
+      r
+  in
+  let record_visit p b =
+    match profile with Some prof -> Ba_cfg.Profile.record_visit prof p b | None -> ()
+  in
+  let record_cond p b v =
+    match profile with Some prof -> Ba_cfg.Profile.record_cond prof p b v | None -> ()
+  in
+  let record_switch p b i =
+    match profile with Some prof -> Ba_cfg.Profile.record_switch prof p b i | None -> ()
+  in
+  let insns = ref 0 in
+  let steps = ref 0 in
+  let branches = ref 0 in
+  let history = ref 0 in
+  let stack : frame list ref = ref [] in
+  let emit ev =
+    incr branches;
+    on_event ev
+  in
+  let pos_addr p pos = (Image.lblock image p pos).Linear.addr in
+  let cur_proc = ref program.Program.main in
+  let cur_pos = ref 0 in
+  let running = ref true in
+  let completed = ref false in
+  let halt () =
+    running := false;
+    completed := true
+  in
+  let enter_call ~caller ~cont ~pc ~callee =
+    let resume =
+      match cont with
+      | Linear.Fall -> Next_pos (!cur_pos + 1)
+      | Linear.Jump_to pos -> Via_jump { jump_pc = pc + 1; target_pos = pos }
+    in
+    stack := { frame_proc = caller; resume } :: !stack;
+    cur_proc := callee;
+    cur_pos := 0
+  in
+  while !running && !steps < max_steps do
+    let p = !cur_proc in
+    let lb = Image.lblock image p !cur_pos in
+    let b = lb.Linear.src in
+    incr steps;
+    record_visit p b;
+    insns := !insns + lb.Linear.insns;
+    let pc = Linear.branch_pc lb in
+    (* Instructions fetched for this visit: the straight-line body plus any
+       terminator instructions actually executed on the taken path. *)
+    let fetched =
+      match lb.Linear.term with
+      | Linear.Lnone -> lb.Linear.insns
+      | Linear.Ljump _ | Linear.Lswitch _ | Linear.Lcall _ | Linear.Lvcall _
+      | Linear.Lret | Linear.Lhalt | Linear.Lcond _ -> lb.Linear.insns + 1
+    in
+    on_block ~addr:lb.Linear.addr ~size:fetched;
+    match lb.Linear.term with
+    | Linear.Lnone -> incr cur_pos
+    | Linear.Ljump target_pos ->
+      incr insns;
+      emit { Event.pc; target = pos_addr p target_pos; kind = Event.Uncond };
+      cur_pos := target_pos
+    | Linear.Lcond { taken_pos; taken_on; inserted_jump } -> begin
+      incr insns;
+      let site = cond_site p b in
+      let outcome = Behavior.next site.behavior site.state ~history:!history in
+      history := ((!history lsl 1) lor if outcome then 1 else 0) land 0xFFFF;
+      record_cond p b outcome;
+      let taken_target = pos_addr p taken_pos in
+      if outcome = taken_on then begin
+        emit
+          { Event.pc; target = taken_target;
+            kind = Event.Cond { taken = true; taken_target } };
+        cur_pos := taken_pos
+      end
+      else begin
+        emit
+          { Event.pc; target = pc + 1;
+            kind = Event.Cond { taken = false; taken_target } };
+        match inserted_jump with
+        | None -> incr cur_pos
+        | Some j ->
+          incr insns;
+          on_block ~addr:(pc + 1) ~size:1;
+          emit { Event.pc = pc + 1; target = pos_addr p j; kind = Event.Uncond };
+          cur_pos := j
+      end
+    end
+    | Linear.Lswitch { positions; weights } ->
+      incr insns;
+      let idx = weighted_index (choice_rng p b 2) weights in
+      record_switch p b idx;
+      let target_pos = positions.(idx) in
+      emit { Event.pc; target = pos_addr p target_pos; kind = Event.Indirect_jump };
+      cur_pos := target_pos
+    | Linear.Lcall { callee; cont } ->
+      incr insns;
+      emit { Event.pc; target = Image.entry_addr image callee; kind = Event.Call };
+      enter_call ~caller:p ~cont ~pc ~callee
+    | Linear.Lvcall { callees; weights; cont } ->
+      incr insns;
+      let idx = weighted_index (choice_rng p b 3) weights in
+      let callee = callees.(idx) in
+      emit
+        { Event.pc; target = Image.entry_addr image callee; kind = Event.Indirect_call };
+      enter_call ~caller:p ~cont ~pc ~callee
+    | Linear.Lret -> begin
+      incr insns;
+      match !stack with
+      | [] ->
+        (* Returning from main ends the program. *)
+        emit { Event.pc; target = 0; kind = Event.Ret };
+        halt ()
+      | frame :: rest -> begin
+        stack := rest;
+        match frame.resume with
+        | Next_pos pos ->
+          emit { Event.pc; target = pos_addr frame.frame_proc pos; kind = Event.Ret };
+          cur_proc := frame.frame_proc;
+          cur_pos := pos
+        | Via_jump { jump_pc; target_pos } ->
+          emit { Event.pc; target = jump_pc; kind = Event.Ret };
+          incr insns;
+          on_block ~addr:jump_pc ~size:1;
+          emit
+            {
+              Event.pc = jump_pc;
+              target = pos_addr frame.frame_proc target_pos;
+              kind = Event.Uncond;
+            };
+          cur_proc := frame.frame_proc;
+          cur_pos := target_pos
+      end
+    end
+    | Linear.Lhalt ->
+      incr insns;
+      halt ()
+  done;
+  { insns = !insns; steps = !steps; branches = !branches; completed = !completed }
+
+let profile_program ?max_steps program =
+  let profile = Ba_cfg.Profile.create program in
+  let image = Image.original program in
+  let (_ : result) = run ~profile ?max_steps image in
+  profile

@@ -1,0 +1,42 @@
+(** The trace-driven interpreter.
+
+    Executes a code image at basic-block granularity, emitting one
+    {!Event.t} per branch instruction.  Branch semantics are drawn from the
+    per-site behaviour streams, which are seeded from the program seed and
+    the site's (procedure, block) identity — so the {e semantic} execution
+    path is identical for every layout of the same program, and two runs of
+    the same image are bit-identical.
+
+    The execution budget is counted in {e block visits} ("steps"), not
+    instructions: all layouts of a program then perform exactly the same
+    semantic work, and differ only in inserted/removed jump instructions —
+    the quantity branch alignment trades in. *)
+
+type result = {
+  insns : int;  (** instructions executed, branch instructions included *)
+  steps : int;  (** semantic block visits *)
+  branches : int;  (** events emitted *)
+  completed : bool;  (** the program halted before exhausting the budget *)
+}
+
+val run :
+  ?on_event:(Event.t -> unit) ->
+  ?on_block:(addr:int -> size:int -> unit) ->
+  ?profile:Ba_cfg.Profile.t ->
+  ?max_steps:int ->
+  Ba_layout.Image.t ->
+  result
+(** [run image] executes from the main procedure's entry.  [on_event]
+    receives every branch event in order; [on_block] fires once per layout
+    block visit with the address range of the instructions fetched
+    (instruction-cache consumers attach here); [profile], when supplied, is
+    updated with semantic visit/outcome counts (it must have been created
+    for the same program); [max_steps] bounds the run (default
+    [1_000_000]).  A [Ret] in the main procedure with an empty call stack
+    halts the program like [Halt].
+
+    Recursion is supported; the call stack is unbounded. *)
+
+val profile_program : ?max_steps:int -> Ba_ir.Program.t -> Ba_cfg.Profile.t
+(** Convenience: run the {e original} layout and return the collected
+    profile — the first of the paper's two passes. *)

@@ -1,0 +1,23 @@
+type kind =
+  | Cond of { taken : bool; taken_target : int }
+  | Uncond
+  | Indirect_jump
+  | Call
+  | Indirect_call
+  | Ret
+
+type t = { pc : int; target : int; kind : kind }
+
+let is_taken e = match e.kind with Cond { taken; _ } -> taken | _ -> true
+
+let fallthrough_addr e = e.pc + 1
+
+let pp_kind ppf = function
+  | Cond { taken; _ } -> Fmt.pf ppf "cond(%s)" (if taken then "taken" else "not-taken")
+  | Uncond -> Fmt.string ppf "uncond"
+  | Indirect_jump -> Fmt.string ppf "ijump"
+  | Call -> Fmt.string ppf "call"
+  | Indirect_call -> Fmt.string ppf "icall"
+  | Ret -> Fmt.string ppf "ret"
+
+let pp ppf e = Fmt.pf ppf "%a pc=%d target=%d" pp_kind e.kind e.pc e.target

@@ -1,0 +1,105 @@
+let magic = "BATR1\n"
+
+(* Tag bytes: conditionals fold their direction into the tag so the record
+   needs no flag byte. *)
+let tag_cond_taken = 0
+let tag_cond_not_taken = 1
+let tag_uncond = 2
+let tag_indirect_jump = 3
+let tag_call = 4
+let tag_indirect_call = 5
+let tag_ret = 6
+
+let write_varint oc n =
+  if n < 0 then invalid_arg "Trace_io: negative value";
+  let rec go n =
+    if n < 0x80 then output_byte oc n
+    else begin
+      output_byte oc (0x80 lor (n land 0x7F));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_varint ic =
+  let rec go shift acc =
+    match input_byte ic with
+    | b ->
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    | exception End_of_file -> failwith "Trace_io: truncated varint"
+  in
+  go 0 0
+
+let write_header oc = output_string oc magic
+
+let write_event oc (e : Event.t) =
+  (match e.kind with
+  | Event.Cond { taken; taken_target } ->
+    output_byte oc (if taken then tag_cond_taken else tag_cond_not_taken);
+    write_varint oc e.pc;
+    write_varint oc e.target;
+    write_varint oc taken_target
+  | Event.Uncond ->
+    output_byte oc tag_uncond;
+    write_varint oc e.pc;
+    write_varint oc e.target
+  | Event.Indirect_jump ->
+    output_byte oc tag_indirect_jump;
+    write_varint oc e.pc;
+    write_varint oc e.target
+  | Event.Call ->
+    output_byte oc tag_call;
+    write_varint oc e.pc;
+    write_varint oc e.target
+  | Event.Indirect_call ->
+    output_byte oc tag_indirect_call;
+    write_varint oc e.pc;
+    write_varint oc e.target
+  | Event.Ret ->
+    output_byte oc tag_ret;
+    write_varint oc e.pc;
+    write_varint oc e.target)
+
+let record ~path f =
+  let oc = open_out_bin path in
+  write_header oc;
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> f ~on_event:(write_event oc))
+
+let read_event ic tag =
+  let pc = read_varint ic in
+  let target = read_varint ic in
+  let kind =
+    if tag = tag_cond_taken || tag = tag_cond_not_taken then
+      Event.Cond { taken = tag = tag_cond_taken; taken_target = read_varint ic }
+    else if tag = tag_uncond then Event.Uncond
+    else if tag = tag_indirect_jump then Event.Indirect_jump
+    else if tag = tag_call then Event.Call
+    else if tag = tag_indirect_call then Event.Indirect_call
+    else if tag = tag_ret then Event.Ret
+    else failwith (Printf.sprintf "Trace_io: unknown record tag %d" tag)
+  in
+  { Event.pc; target; kind }
+
+let replay ~path f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if header <> magic then failwith "Trace_io: bad magic";
+      let count = ref 0 in
+      let rec loop () =
+        match input_byte ic with
+        | tag ->
+          f (read_event ic tag);
+          incr count;
+          loop ()
+        | exception End_of_file -> ()
+      in
+      loop ();
+      !count)
+
+let iter_file = replay

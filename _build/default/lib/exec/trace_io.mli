@@ -1,0 +1,28 @@
+(** Branch-trace serialisation.
+
+    The paper's tooling (ATOM) let the authors re-simulate architectures
+    without storing traces; this module provides the complementary
+    workflow: record a run's branch events once to a compact binary file,
+    then replay them through any number of predictors offline.
+
+    Format: a magic header, then one record per event — a tag byte (event
+    kind, with the conditional's taken bit folded in) followed by the pc,
+    target and (for conditionals) taken-target as unsigned LEB128 varints.
+    Typical traces cost 4-7 bytes per event. *)
+
+val write_header : out_channel -> unit
+
+val write_event : out_channel -> Event.t -> unit
+
+val record : path:string -> (on_event:(Event.t -> unit) -> 'a) -> 'a
+(** [record ~path f] opens [path], writes the header, runs [f] with a
+    callback that appends each event, and closes the file (also on
+    exceptions).  Compose with {!Engine.run}:
+    [record ~path (fun ~on_event -> Engine.run ~on_event image)]. *)
+
+val replay : path:string -> (Event.t -> unit) -> int
+(** Stream every event of a trace file to the callback; returns the event
+    count.  Raises [Failure] on a malformed file. *)
+
+val iter_file : path:string -> (Event.t -> unit) -> int
+(** Alias of {!replay}. *)

@@ -1,0 +1,74 @@
+type t = {
+  cond_by_pc : (int, int) Hashtbl.t;
+  mutable cond : int;
+  mutable cond_taken : int;
+  mutable uncond : int;
+  mutable ijump : int;
+  mutable call : int;
+  mutable icall : int;
+  mutable ret : int;
+}
+
+let create () =
+  {
+    cond_by_pc = Hashtbl.create 1024;
+    cond = 0;
+    cond_taken = 0;
+    uncond = 0;
+    ijump = 0;
+    call = 0;
+    icall = 0;
+    ret = 0;
+  }
+
+let on_event t (e : Event.t) =
+  match e.kind with
+  | Event.Cond { taken; _ } ->
+    t.cond <- t.cond + 1;
+    if taken then t.cond_taken <- t.cond_taken + 1;
+    Hashtbl.replace t.cond_by_pc e.pc
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.cond_by_pc e.pc))
+  | Event.Uncond -> t.uncond <- t.uncond + 1
+  | Event.Indirect_jump -> t.ijump <- t.ijump + 1
+  | Event.Call -> t.call <- t.call + 1
+  | Event.Indirect_call -> t.icall <- t.icall + 1
+  | Event.Ret -> t.ret <- t.ret + 1
+
+type summary = {
+  insns : int;
+  pct_breaks : float;
+  q50 : int;
+  q90 : int;
+  q99 : int;
+  q100 : int;
+  static_cond_sites : int;
+  pct_taken : float;
+  pct_cbr : float;
+  pct_ij : float;
+  pct_br : float;
+  pct_call : float;
+  pct_ret : float;
+}
+
+let summarize t ~program ~insns =
+  let breaks = t.cond + t.uncond + t.ijump + t.call + t.icall + t.ret in
+  let weights = Hashtbl.fold (fun pc c acc -> (pc, c) :: acc) t.cond_by_pc [] in
+  let q fraction = Ba_util.Stats.quantile_sites ~weights ~fraction in
+  let ij = t.ijump + t.icall in
+  {
+    insns;
+    pct_breaks = Ba_util.Stats.pct breaks insns;
+    q50 = q 0.5;
+    q90 = q 0.9;
+    q99 = q 0.99;
+    q100 = Hashtbl.length t.cond_by_pc;
+    static_cond_sites = List.length (Ba_ir.Program.conditional_sites program);
+    pct_taken = Ba_util.Stats.pct t.cond_taken t.cond;
+    pct_cbr = Ba_util.Stats.pct t.cond breaks;
+    pct_ij = Ba_util.Stats.pct ij breaks;
+    pct_br = Ba_util.Stats.pct t.uncond breaks;
+    pct_call = Ba_util.Stats.pct t.call breaks;
+    pct_ret = Ba_util.Stats.pct t.ret breaks;
+  }
+
+let pct_cond_fallthrough t = Ba_util.Stats.pct (t.cond - t.cond_taken) t.cond

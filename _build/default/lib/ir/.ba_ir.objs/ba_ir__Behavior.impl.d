@@ -1,0 +1,1 @@
+lib/ir/behavior.ml: Array Ba_util Fmt String

@@ -1,0 +1,1 @@
+lib/ir/behavior.mli: Ba_util Format

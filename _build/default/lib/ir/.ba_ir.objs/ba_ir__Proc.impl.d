@@ -1,0 +1,1 @@
+lib/ir/proc.ml: Array Behavior Block Fmt List Printf Term

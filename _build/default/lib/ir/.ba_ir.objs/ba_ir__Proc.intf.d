@@ -1,0 +1,1 @@
+lib/ir/proc.mli: Block Format Term

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Block Hashtbl List Printf Proc Term

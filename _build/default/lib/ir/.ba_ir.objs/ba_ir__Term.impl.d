@@ -1,0 +1,1 @@
+lib/ir/term.ml: Array Behavior Fmt Hashtbl List Printf String

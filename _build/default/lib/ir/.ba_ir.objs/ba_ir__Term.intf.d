@@ -1,0 +1,1 @@
+lib/ir/term.mli: Behavior Format

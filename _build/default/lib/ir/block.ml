@@ -1,0 +1,9 @@
+type t = { insns : int; term : Term.t }
+
+let make ?(insns = 4) term =
+  (* At least one instruction per block keeps every address in the final
+     image distinct, which branch predictors index by. *)
+  if insns < 1 then invalid_arg "Block.make: instruction count must be positive";
+  { insns; term }
+
+let pp ppf b = Fmt.pf ppf "{%d insns; %a}" b.insns Term.pp b.term

@@ -1,0 +1,17 @@
+(** Basic blocks.
+
+    A block carries a count of "straight-line" (non-branch) instructions and
+    a terminator.  The branch instruction implied by the terminator, if any,
+    is accounted for separately at layout time, because whether a [Jump]
+    needs an instruction at all depends on block placement. *)
+
+type t = { insns : int; term : Term.t }
+
+val make : ?insns:int -> Term.t -> t
+(** [make term] is a block with [insns] straight-line instructions
+    (default 4, a typical basic-block size from the paper's Figure 1).
+    Raises [Invalid_argument] if [insns < 1]: every block occupies at least
+    one address, keeping instruction addresses unique in the laid-out
+    image. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type t = { name : string; blocks : Block.t array }
+
+let make ~name blocks =
+  if Array.length blocks = 0 then invalid_arg "Proc.make: empty procedure";
+  { name; blocks }
+
+let n_blocks p = Array.length p.blocks
+
+let block p b =
+  if b < 0 || b >= Array.length p.blocks then
+    invalid_arg (Printf.sprintf "Proc.block: id %d out of range in %s" b p.name);
+  p.blocks.(b)
+
+let entry = 0
+
+let predecessors p =
+  let preds = Array.make (n_blocks p) [] in
+  Array.iteri
+    (fun src blk ->
+      List.iter
+        (fun dst -> preds.(dst) <- src :: preds.(dst))
+        (Term.successors blk.Block.term))
+    p.blocks;
+  Array.map List.rev preds
+
+let validate p =
+  let n = n_blocks p in
+  let err fmt = Printf.ksprintf (fun s -> Error (p.name ^ ": " ^ s)) fmt in
+  let check_id src b =
+    if b < 0 || b >= n then Some (src, b) else None
+  in
+  let exception Bad of string in
+  try
+    Array.iteri
+      (fun src blk ->
+        let bad b =
+          match check_id src b with
+          | Some (src, b) ->
+            raise (Bad (Printf.sprintf "block %d: successor %d out of range" src b))
+          | None -> ()
+        in
+        List.iter bad (Term.successors blk.Block.term);
+        (match blk.Block.term with
+        | Term.Cond { behavior; on_true; on_false } -> begin
+          if on_true = on_false then
+            raise (Bad (Printf.sprintf "block %d: conditional with equal targets" src));
+          match Behavior.validate behavior with
+          | Ok () -> ()
+          | Error e -> raise (Bad (Printf.sprintf "block %d: %s" src e))
+        end
+        | Term.Switch { targets } ->
+          if Array.length targets = 0 then
+            raise (Bad (Printf.sprintf "block %d: empty switch" src));
+          Array.iter
+            (fun (_, w) ->
+              if w < 0.0 then
+                raise (Bad (Printf.sprintf "block %d: negative switch weight" src)))
+            targets;
+          if Array.for_all (fun (_, w) -> w = 0.0) targets then
+            raise (Bad (Printf.sprintf "block %d: all-zero switch weights" src))
+        | Term.Vcall { callees; _ } ->
+          if Array.length callees = 0 then
+            raise (Bad (Printf.sprintf "block %d: empty vcall" src));
+          Array.iter
+            (fun (_, w) ->
+              if w < 0.0 then
+                raise (Bad (Printf.sprintf "block %d: negative vcall weight" src)))
+            callees
+        | Term.Jump _ | Term.Call _ | Term.Ret | Term.Halt -> ()))
+      p.blocks;
+    (* Reachability from the entry block. *)
+    let seen = Array.make n false in
+    let rec visit b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter visit (Term.successors p.blocks.(b).Block.term)
+      end
+    in
+    visit entry;
+    (match Array.to_list seen |> List.mapi (fun i s -> (i, s)) |> List.find_opt (fun (_, s) -> not s) with
+    | Some (i, _) -> raise (Bad (Printf.sprintf "block %d unreachable from entry" i))
+    | None -> ());
+    Ok ()
+  with Bad msg -> err "%s" msg
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>proc %s:@," p.name;
+  Array.iteri (fun i b -> Fmt.pf ppf "  b%d: %a@," i Block.pp b) p.blocks;
+  Fmt.pf ppf "@]"

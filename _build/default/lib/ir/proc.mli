@@ -1,0 +1,31 @@
+(** Procedures.
+
+    A procedure is an array of basic blocks; the array order is the
+    *original* code layout (what "the compiler" emitted), and block 0 is the
+    entry block.  Alignment algorithms compute a permutation of this
+    array. *)
+
+type t = { name : string; blocks : Block.t array }
+
+val make : name:string -> Block.t array -> t
+(** Raises [Invalid_argument] on an empty block array. *)
+
+val n_blocks : t -> int
+
+val block : t -> Term.block_id -> Block.t
+(** Raises [Invalid_argument] if the id is out of range. *)
+
+val entry : Term.block_id
+(** Always [0]. *)
+
+val predecessors : t -> Term.block_id list array
+(** Cached-free computation of the predecessor lists of every block:
+    [(predecessors p).(b)] lists the blocks with an edge into [b]. *)
+
+val validate : t -> (unit, string) result
+(** Checks that all intra-procedural successor ids are in range, conditional
+    branches have distinct targets, behaviours are well-formed, switch/vcall
+    weight tables are non-empty with non-negative weights, and every block is
+    reachable from the entry. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type t = { name : string; procs : Proc.t array; main : Term.proc_id; seed : int }
+
+let make ~name ?seed ?(main = 0) procs =
+  if Array.length procs = 0 then invalid_arg "Program.make: no procedures";
+  if main < 0 || main >= Array.length procs then
+    invalid_arg "Program.make: main out of range";
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash name in
+  { name; procs; main; seed }
+
+let with_seed t seed = { t with seed }
+
+let n_procs t = Array.length t.procs
+
+let proc t p =
+  if p < 0 || p >= Array.length t.procs then
+    invalid_arg (Printf.sprintf "Program.proc: id %d out of range" p);
+  t.procs.(p)
+
+let validate t =
+  let n = n_procs t in
+  let rec check_procs i =
+    if i = n then Ok ()
+    else
+      match Proc.validate t.procs.(i) with
+      | Error _ as e -> e
+      | Ok () ->
+        let exception Bad of string in
+        (try
+           Array.iteri
+             (fun b blk ->
+               let check_callee p =
+                 if p < 0 || p >= n then
+                   raise
+                     (Bad
+                        (Printf.sprintf "%s: block %d: callee %d out of range"
+                           t.procs.(i).Proc.name b p))
+               in
+               match blk.Block.term with
+               | Term.Call { callee; _ } -> check_callee callee
+               | Term.Vcall { callees; _ } ->
+                 Array.iter (fun (p, _) -> check_callee p) callees
+               | Term.Halt ->
+                 if i <> t.main then
+                   raise
+                     (Bad
+                        (Printf.sprintf "%s: block %d: Halt outside main"
+                           t.procs.(i).Proc.name b))
+               | Term.Jump _ | Term.Cond _ | Term.Switch _ | Term.Ret -> ())
+             t.procs.(i).Proc.blocks;
+           check_procs (i + 1)
+         with Bad msg -> Error msg)
+  in
+  check_procs 0
+
+let iter_blocks t f =
+  Array.iteri
+    (fun p proc -> Array.iteri (fun b blk -> f p b blk) proc.Proc.blocks)
+    t.procs
+
+let total_blocks t =
+  Array.fold_left (fun acc p -> acc + Proc.n_blocks p) 0 t.procs
+
+let conditional_sites t =
+  let sites = ref [] in
+  iter_blocks t (fun p b blk ->
+      match blk.Block.term with
+      | Term.Cond _ -> sites := (p, b) :: !sites
+      | _ -> ());
+  List.rev !sites

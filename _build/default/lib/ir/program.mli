@@ -1,0 +1,34 @@
+(** Whole programs.
+
+    A program is an array of procedures; [main] names the procedure where
+    execution starts.  [seed] determines every stochastic choice made while
+    executing the program (branch behaviours, switch targets, virtual-call
+    receivers), so a program value fully determines its traces. *)
+
+type t = { name : string; procs : Proc.t array; main : Term.proc_id; seed : int }
+
+val make : name:string -> ?seed:int -> ?main:Term.proc_id -> Proc.t array -> t
+(** [make ~name procs] builds a program.  [main] defaults to procedure 0 and
+    [seed] to a hash of [name], so distinct workloads get distinct but
+    reproducible streams.  Raises [Invalid_argument] on an empty procedure
+    array or out-of-range [main]. *)
+
+val with_seed : t -> int -> t
+(** The same program running on a different input: every stochastic branch
+    behaviour, switch and dispatch draws from fresh streams.  Used for
+    cross-input profile-robustness experiments. *)
+
+val n_procs : t -> int
+val proc : t -> Term.proc_id -> Proc.t
+
+val validate : t -> (unit, string) result
+(** Validates every procedure (see {!Proc.validate}) plus inter-procedural
+    references: callee ids in range, and [Halt] appearing only in [main]. *)
+
+val iter_blocks : t -> (Term.proc_id -> Term.block_id -> Block.t -> unit) -> unit
+(** Visit every block of every procedure. *)
+
+val total_blocks : t -> int
+
+val conditional_sites : t -> (Term.proc_id * Term.block_id) list
+(** All blocks ending in a conditional branch, in a fixed order. *)

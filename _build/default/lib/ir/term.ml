@@ -1,0 +1,50 @@
+type block_id = int
+type proc_id = int
+
+type t =
+  | Jump of block_id
+  | Cond of { on_true : block_id; on_false : block_id; behavior : Behavior.t }
+  | Switch of { targets : (block_id * float) array }
+  | Call of { callee : proc_id; next : block_id }
+  | Vcall of { callees : (proc_id * float) array; next : block_id }
+  | Ret
+  | Halt
+
+let successors = function
+  | Jump b -> [ b ]
+  | Cond { on_true; on_false; _ } ->
+    if on_true = on_false then [ on_true ] else [ on_true; on_false ]
+  | Switch { targets } ->
+    let seen = Hashtbl.create 8 in
+    Array.fold_left
+      (fun acc (b, _) ->
+        if Hashtbl.mem seen b then acc
+        else begin
+          Hashtbl.add seen b ();
+          b :: acc
+        end)
+      [] targets
+    |> List.rev
+  | Call { next; _ } | Vcall { next; _ } -> [ next ]
+  | Ret | Halt -> []
+
+let is_branch_site = function
+  | Cond _ | Switch _ | Call _ | Vcall _ | Ret -> true
+  | Jump _ | Halt -> false
+
+let pp ppf = function
+  | Jump b -> Fmt.pf ppf "jump b%d" b
+  | Cond { on_true; on_false; behavior } ->
+    Fmt.pf ppf "cond(%a) true->b%d false->b%d" Behavior.pp behavior on_true on_false
+  | Switch { targets } ->
+    Fmt.pf ppf "switch [%s]"
+      (String.concat "; "
+         (Array.to_list (Array.map (fun (b, w) -> Printf.sprintf "b%d:%.2f" b w) targets)))
+  | Call { callee; next } -> Fmt.pf ppf "call p%d then b%d" callee next
+  | Vcall { callees; next } ->
+    Fmt.pf ppf "vcall [%s] then b%d"
+      (String.concat "; "
+         (Array.to_list (Array.map (fun (p, w) -> Printf.sprintf "p%d:%.2f" p w) callees)))
+      next
+  | Ret -> Fmt.pf ppf "ret"
+  | Halt -> Fmt.pf ppf "halt"

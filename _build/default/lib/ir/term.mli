@@ -1,0 +1,41 @@
+(** Basic-block terminators.
+
+    Block and procedure identifiers are plain integers: a block id indexes
+    the block array of its procedure, a proc id indexes the procedure array
+    of the program.  The IR has no implicit fall-through: every successor is
+    named explicitly, and it is the *layout* (see [Ba_layout]) that later
+    decides which successor, if any, becomes the architectural fall-through
+    path. *)
+
+type block_id = int
+type proc_id = int
+
+type t =
+  | Jump of block_id
+      (** single successor; becomes either a fall-through or an unconditional
+          branch after layout *)
+  | Cond of { on_true : block_id; on_false : block_id; behavior : Behavior.t }
+      (** two-way conditional branch; the behaviour generates the semantic
+          outcome stream *)
+  | Switch of { targets : (block_id * float) array }
+      (** indirect jump (computed goto / jump table); targets are chosen with
+          the given relative weights at run time *)
+  | Call of { callee : proc_id; next : block_id }
+      (** direct procedure call; on return execution continues at [next]
+          (which therefore behaves like a fall-through edge for layout) *)
+  | Vcall of { callees : (proc_id * float) array; next : block_id }
+      (** indirect (virtual-dispatch) call; counted as an indirect jump in
+          trace statistics, as the paper does for C++ dynamic dispatch *)
+  | Ret  (** procedure return *)
+  | Halt  (** program exit; only meaningful in the main procedure *)
+
+val successors : t -> block_id list
+(** Intra-procedural successor blocks, without duplicates, in a fixed
+    order. *)
+
+val is_branch_site : t -> bool
+(** Does this terminator always lower to at least one branch instruction?
+    [Jump]/[Call]/[Vcall] continuations may lower to pure fall-throughs;
+    every other terminator with control transfer is a branch instruction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/isa/codegen.ml: Array Ba_ir Ba_layout Ba_util Hashtbl Image Insn Linear List

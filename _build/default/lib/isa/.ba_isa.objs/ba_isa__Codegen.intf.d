@@ -1,0 +1,1 @@
+lib/isa/codegen.mli: Ba_layout Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Ba_ir Ba_layout Codegen Hashtbl Image Insn Linear List Printf String

@@ -1,0 +1,1 @@
+lib/isa/pairing.ml: Array Ba_layout Codegen Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/isa/pairing.mli: Ba_layout Codegen Hashtbl Insn

@@ -1,0 +1,65 @@
+open Ba_layout
+
+type listing = { image : Image.t; insns : (int, Insn.t) Hashtbl.t }
+
+(* Body opcodes must be a function of the semantic block (not its layout
+   position), so the same block reads the same under every alignment. *)
+let body_opcode rng ~fp_fraction =
+  let x = Ba_util.Rng.float rng 1.0 in
+  if x < fp_fraction /. 2.0 then Insn.Fadd
+  else if x < fp_fraction then Insn.Fmul
+  else if x < fp_fraction +. 0.3 then Insn.Load
+  else if x < fp_fraction +. 0.42 then Insn.Store
+  else Insn.Ialu
+
+let of_image ?(fp_fraction = 0.15) (image : Image.t) =
+  if fp_fraction < 0.0 || fp_fraction > 1.0 then
+    invalid_arg "Codegen.of_image: fp_fraction out of [0,1]";
+  let seed = image.Image.program.Ba_ir.Program.seed in
+  let insns = Hashtbl.create 1024 in
+  let emit addr insn = Hashtbl.replace insns addr insn in
+  Array.iteri
+    (fun p (linear : Linear.t) ->
+      Array.iter
+        (fun (lb : Linear.lblock) ->
+          let rng =
+            Ba_util.Rng.create
+              (seed lxor (p * 0x9E3779B9) lxor (lb.Linear.src * 0x85EBCA6B) lxor 0x51ED)
+          in
+          for k = 0 to lb.Linear.insns - 1 do
+            emit (lb.Linear.addr + k) (Insn.make (body_opcode rng ~fp_fraction))
+          done;
+          let pc = Linear.branch_pc lb in
+          let addr_of pos = (Image.lblock image p pos).Linear.addr in
+          match lb.Linear.term with
+          | Linear.Lnone -> ()
+          | Linear.Ljump pos -> emit pc (Insn.make ~target:(addr_of pos) Insn.Br)
+          | Linear.Lcond { taken_pos; inserted_jump; _ } ->
+            emit pc (Insn.make ~target:(addr_of taken_pos) Insn.Cbr);
+            (match inserted_jump with
+            | Some pos -> emit (pc + 1) (Insn.make ~target:(addr_of pos) Insn.Br)
+            | None -> ())
+          | Linear.Lswitch _ -> emit pc (Insn.make Insn.Jmp)
+          | Linear.Lcall { callee; cont } ->
+            emit pc (Insn.make ~target:(Image.entry_addr image callee) Insn.Jsr);
+            (match cont with
+            | Linear.Jump_to pos -> emit (pc + 1) (Insn.make ~target:(addr_of pos) Insn.Br)
+            | Linear.Fall -> ())
+          | Linear.Lvcall { cont; _ } ->
+            emit pc (Insn.make Insn.Jsr) (* indirect call: jsr (r27) *);
+            (match cont with
+            | Linear.Jump_to pos -> emit (pc + 1) (Insn.make ~target:(addr_of pos) Insn.Br)
+            | Linear.Fall -> ())
+          | Linear.Lret -> emit pc (Insn.make Insn.Ret)
+          | Linear.Lhalt -> emit pc (Insn.make Insn.Halt))
+        linear.Linear.blocks)
+    image.Image.linears;
+  { image; insns }
+
+let insn_at t addr = Hashtbl.find_opt t.insns addr
+
+let block_insns t (lb : Linear.lblock) =
+  List.init (Linear.block_size lb) (fun k ->
+      match insn_at t (lb.Linear.addr + k) with
+      | Some i -> i
+      | None -> assert false)

@@ -1,0 +1,28 @@
+(** Materialising instructions for a code image.
+
+    Each layout block's straight-line instruction count is expanded into a
+    concrete opcode sequence: a deterministic per-block mix of integer
+    operations, loads, stores and floating-point work, followed by the
+    terminator's branch instruction(s) with resolved target addresses.
+    The mix is drawn from the block's identity and the program seed, so a
+    program disassembles identically on every run, and the {e same} block
+    keeps the same body instructions under every layout (only branch
+    targets and inserted jumps differ — exactly what a binary rewriter may
+    touch).
+
+    [fp_fraction] controls how much of the straight-line code is
+    floating-point (numeric workloads pair much better on a dual-issue
+    machine). *)
+
+type listing = {
+  image : Ba_layout.Image.t;
+  insns : (int, Insn.t) Hashtbl.t;  (** by address *)
+}
+
+val of_image : ?fp_fraction:float -> Ba_layout.Image.t -> listing
+(** Default [fp_fraction] 0.15. *)
+
+val insn_at : listing -> int -> Insn.t option
+
+val block_insns : listing -> Ba_layout.Linear.lblock -> Insn.t list
+(** The block's instructions in address order. *)

@@ -1,0 +1,33 @@
+type opcode = Ialu | Fadd | Fmul | Load | Store | Cbr | Br | Jmp | Jsr | Ret | Halt
+
+type t = { opcode : opcode; target : int option }
+
+let make ?target opcode = { opcode; target }
+
+let mnemonic = function
+  | Ialu -> "addq"
+  | Fadd -> "addt"
+  | Fmul -> "mult"
+  | Load -> "ldq"
+  | Store -> "stq"
+  | Cbr -> "bne"
+  | Br -> "br"
+  | Jmp -> "jmp"
+  | Jsr -> "jsr"
+  | Ret -> "ret"
+  | Halt -> "call_pal halt"
+
+type pipe = Epipe | Fpipe
+
+let pipe = function
+  | Ialu | Load | Store | Cbr | Br | Jmp | Jsr | Ret | Halt -> Epipe
+  | Fadd | Fmul -> Fpipe
+
+let is_branch = function
+  | Cbr | Br | Jmp | Jsr | Ret -> true
+  | Ialu | Fadd | Fmul | Load | Store | Halt -> false
+
+let pp ppf t =
+  match t.target with
+  | Some target -> Fmt.pf ppf "%-6s -> %#x" (mnemonic t.opcode) target
+  | None -> Fmt.string ppf (mnemonic t.opcode)

@@ -1,0 +1,40 @@
+(** A small Alpha-flavoured instruction vocabulary.
+
+    The block-level IR deliberately abstracts straight-line code to an
+    instruction count; this module puts concrete (if schematic) instructions
+    back, giving the rewriting layer something to disassemble and the
+    timing models issue classes to pair.  Operands are not modelled — the
+    evaluation never depends on data values — but opcodes, pipes and
+    branch targets are. *)
+
+type opcode =
+  | Ialu  (** integer operate: addq, s4addq, bis, cmpult, ... *)
+  | Fadd  (** floating add/compare pipe *)
+  | Fmul  (** floating multiply pipe *)
+  | Load  (** ldq/ldl/lds *)
+  | Store  (** stq/stl/sts *)
+  | Cbr  (** conditional branch *)
+  | Br  (** unconditional branch *)
+  | Jmp  (** indirect jump *)
+  | Jsr  (** call *)
+  | Ret
+  | Halt
+
+type t = {
+  opcode : opcode;
+  target : int option;  (** branch/call target address, when static *)
+}
+
+val make : ?target:int -> opcode -> t
+
+val mnemonic : opcode -> string
+
+type pipe = Epipe | Fpipe
+(** The 21064's two issue pipes: integer (also loads, stores and branches)
+    and floating point. *)
+
+val pipe : opcode -> pipe
+
+val is_branch : opcode -> bool
+
+val pp : Format.formatter -> t -> unit

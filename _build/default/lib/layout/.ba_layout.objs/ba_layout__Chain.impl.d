@@ -1,0 +1,1 @@
+lib/layout/chain.ml: Array Decision List Printf

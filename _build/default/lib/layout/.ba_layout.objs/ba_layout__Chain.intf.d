@@ -1,0 +1,1 @@
+lib/layout/chain.mli: Ba_ir Decision

@@ -1,0 +1,1 @@
+lib/layout/chain_order.ml: Array Ba_cfg Ba_ir Block Hashtbl List Proc Term

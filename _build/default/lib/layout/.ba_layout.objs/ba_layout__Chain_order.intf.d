@@ -1,0 +1,1 @@
+lib/layout/chain_order.mli: Ba_cfg Ba_ir

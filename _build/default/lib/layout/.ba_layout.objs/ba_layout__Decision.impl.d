@@ -1,0 +1,1 @@
+lib/layout/decision.ml: Array Ba_ir Fmt Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/layout/decision.mli: Ba_ir Format

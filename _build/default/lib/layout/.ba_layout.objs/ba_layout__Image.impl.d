@@ -1,0 +1,1 @@
+lib/layout/image.ml: Array Ba_cfg Ba_ir Decision Linear Lower Printf

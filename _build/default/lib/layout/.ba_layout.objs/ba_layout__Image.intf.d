@@ -1,0 +1,1 @@
+lib/layout/image.mli: Ba_cfg Ba_ir Decision Linear

@@ -1,0 +1,1 @@
+lib/layout/linear.ml: Array Ba_ir Decision Fmt Printf

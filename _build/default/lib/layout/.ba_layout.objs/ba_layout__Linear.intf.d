@@ -1,0 +1,1 @@
+lib/layout/linear.mli: Ba_ir Decision Format

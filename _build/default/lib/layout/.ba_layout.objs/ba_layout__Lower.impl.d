@@ -1,0 +1,1 @@
+lib/layout/lower.ml: Array Ba_ir Block Decision Linear Proc Term

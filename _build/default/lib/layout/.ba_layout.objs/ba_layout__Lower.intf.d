@@ -1,0 +1,1 @@
+lib/layout/lower.mli: Ba_ir Decision Linear

@@ -1,0 +1,77 @@
+type t = {
+  succ : int option array;
+  pred : int option array;
+  forbidden : Decision.jump_leg option array;
+  pinned : bool array;
+}
+
+let create n =
+  {
+    succ = Array.make n None;
+    pred = Array.make n None;
+    forbidden = Array.make n None;
+    pinned = Array.make n false;
+  }
+
+let copy t =
+  {
+    succ = Array.copy t.succ;
+    pred = Array.copy t.pred;
+    forbidden = Array.copy t.forbidden;
+    pinned = Array.copy t.pinned;
+  }
+
+let chain_succ t b = t.succ.(b)
+let chain_pred t b = t.pred.(b)
+
+let rec head t b = match t.pred.(b) with None -> b | Some p -> head t p
+let rec tail t b = match t.succ.(b) with None -> b | Some s -> tail t s
+
+let same_chain t a b = head t a = head t b
+
+let pin_head t b =
+  if t.pred.(b) <> None then
+    invalid_arg "Chain.pin_head: block already has a chain predecessor";
+  t.pinned.(b) <- true
+
+let can_link t ~src ~dst =
+  t.succ.(src) = None
+  && t.pred.(dst) = None
+  && t.forbidden.(src) = None
+  && (not t.pinned.(dst))
+  && not (same_chain t src dst)
+
+let link t ~src ~dst =
+  if not (can_link t ~src ~dst) then
+    invalid_arg (Printf.sprintf "Chain.link: cannot link %d -> %d" src dst);
+  t.succ.(src) <- Some dst;
+  t.pred.(dst) <- Some src
+
+let unlink t ~src =
+  match t.succ.(src) with
+  | None -> invalid_arg "Chain.unlink: block has no chain successor"
+  | Some dst ->
+    t.succ.(src) <- None;
+    t.pred.(dst) <- None
+
+let forbid_fallthrough ?(jump_leg = Decision.Jump_heavier) t b =
+  if t.succ.(b) <> None then
+    invalid_arg "Chain.forbid_fallthrough: block already has a chain successor";
+  t.forbidden.(b) <- Some jump_leg
+
+let fallthrough_forbidden t b = t.forbidden.(b) <> None
+
+let forced_neither t b = t.forbidden.(b)
+
+let chains t =
+  let n = Array.length t.succ in
+  let result = ref [] in
+  for b = n - 1 downto 0 do
+    if t.pred.(b) = None then begin
+      let rec walk acc x =
+        match t.succ.(x) with None -> List.rev (x :: acc) | Some s -> walk (x :: acc) s
+      in
+      result := walk [] b :: !result
+    end
+  done;
+  !result

@@ -1,0 +1,55 @@
+(** Chains of basic blocks, after Pettis & Hansen.
+
+    A chain is a sequence of blocks threaded head-to-tail that will be laid
+    out contiguously; each in-chain link is a fall-through edge of the final
+    layout.  Every block starts as its own singleton chain.  Linking
+    [src -> dst] is allowed when [src] is some chain's tail, [dst] is some
+    chain's head, the two chains are distinct (no cycles), and [src] has not
+    been marked "no fall-through" by a cost-model decision. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes the chain store for a procedure with [n] blocks. *)
+
+val copy : t -> t
+(** Independent snapshot; used by search algorithms to explore alternatives. *)
+
+val chain_succ : t -> Ba_ir.Term.block_id -> Ba_ir.Term.block_id option
+val chain_pred : t -> Ba_ir.Term.block_id -> Ba_ir.Term.block_id option
+
+val head : t -> Ba_ir.Term.block_id -> Ba_ir.Term.block_id
+(** First block of the chain containing the argument. *)
+
+val tail : t -> Ba_ir.Term.block_id -> Ba_ir.Term.block_id
+
+val same_chain : t -> Ba_ir.Term.block_id -> Ba_ir.Term.block_id -> bool
+
+val can_link : t -> src:Ba_ir.Term.block_id -> dst:Ba_ir.Term.block_id -> bool
+
+val link : t -> src:Ba_ir.Term.block_id -> dst:Ba_ir.Term.block_id -> unit
+(** Raises [Invalid_argument] when [can_link] is false. *)
+
+val pin_head : t -> Ba_ir.Term.block_id -> unit
+(** Forbid any link {e into} this block, keeping it a chain head forever.
+    Used for procedure entry blocks: nothing can fall through into the
+    procedure's first address. *)
+
+val unlink : t -> src:Ba_ir.Term.block_id -> unit
+(** Undo a previous [link] whose source was [src].  Raises
+    [Invalid_argument] if [src] has no chain successor.  Supports the
+    backtracking search in the Try15 alignment algorithm. *)
+
+val forbid_fallthrough : ?jump_leg:Decision.jump_leg -> t -> Ba_ir.Term.block_id -> unit
+(** Record a cost-model decision that this block must end its chain (the
+    "align neither edge, insert a jump" transformation), routing [jump_leg]
+    (default [Jump_heavier]) through the inserted jump.  Raises
+    [Invalid_argument] if the block already has a chain successor. *)
+
+val fallthrough_forbidden : t -> Ba_ir.Term.block_id -> bool
+
+val forced_neither : t -> Ba_ir.Term.block_id -> Decision.jump_leg option
+
+val chains : t -> Ba_ir.Term.block_id list list
+(** All chains, each listed head to tail, ordered by head id (deterministic;
+    final ordering is the job of {!Chain_order}). *)

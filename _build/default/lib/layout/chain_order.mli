@@ -1,0 +1,26 @@
+(** Ordering chains into a final procedure layout.
+
+    After chain formation, the chains themselves must be sequenced.  The
+    paper's implementation study (§6.1) compared two strategies:
+
+    - {b Weight_desc}: chains from most to least frequently executed, which
+      Calder & Grunwald found to perform slightly better overall (it tends to
+      satisfy the BT/FNT priorities anyway and improves locality);
+    - {b Btfnt_precedence}: the Pettis & Hansen ordering, which places the
+      target chain of a frequently taken conditional before its source chain
+      so the branch becomes backward (predicted taken under BT/FNT).
+
+    The chain containing the procedure entry always comes first. *)
+
+type strategy = Weight_desc | Btfnt_precedence
+
+val order :
+  strategy ->
+  Ba_ir.Proc.t ->
+  weight:(Ba_ir.Term.block_id -> int) ->
+  edge_weight:(Ba_cfg.Edge.t -> int) ->
+  Ba_ir.Term.block_id list list ->
+  Ba_ir.Term.block_id list list
+(** [order strategy proc ~weight ~edge_weight chains] sequences [chains].
+    [weight] gives a block's execution count and [edge_weight] an edge's
+    traversal count (both typically from a {!Ba_cfg.Profile}). *)

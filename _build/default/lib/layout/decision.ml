@@ -1,0 +1,61 @@
+type jump_leg = Jump_heavier | Jump_on_true | Jump_on_false
+
+type t = {
+  order : Ba_ir.Term.block_id array;
+  neither : jump_leg option array;
+}
+
+let of_order ?neither order =
+  let neither =
+    match neither with Some a -> a | None -> Array.make (Array.length order) None
+  in
+  { order; neither }
+
+let identity p = of_order (Array.init (Ba_ir.Proc.n_blocks p) Fun.id)
+
+let of_chains ?neither chains = of_order ?neither (Array.of_list (List.concat chains))
+
+let position t =
+  let pos = Array.make (Array.length t.order) (-1) in
+  Array.iteri (fun i b -> pos.(b) <- i) t.order;
+  pos
+
+let validate p t =
+  let n = Ba_ir.Proc.n_blocks p in
+  if Array.length t.order <> n then Error "layout order has wrong length"
+  else if Array.length t.neither <> n then Error "neither set has wrong length"
+  else begin
+    let seen = Array.make n false in
+    let bad = ref None in
+    Array.iter
+      (fun b ->
+        if b < 0 || b >= n then bad := Some (Printf.sprintf "block id %d out of range" b)
+        else if seen.(b) then bad := Some (Printf.sprintf "block %d duplicated" b)
+        else seen.(b) <- true)
+      t.order;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      if t.order.(0) <> Ba_ir.Proc.entry then Error "entry block not first"
+      else Ok ()
+  end
+
+let leg_name = function
+  | Jump_heavier -> "heavier"
+  | Jump_on_true -> "true"
+  | Jump_on_false -> "false"
+
+let pp ppf t =
+  let forced =
+    Array.to_list t.neither
+    |> List.mapi (fun b f -> Option.map (fun leg -> (b, leg)) f)
+    |> List.filter_map Fun.id
+  in
+  Fmt.pf ppf "[%s]%s"
+    (String.concat " " (Array.to_list (Array.map string_of_int t.order)))
+    (match forced with
+    | [] -> ""
+    | l ->
+      " neither:"
+      ^ String.concat ","
+          (List.map (fun (b, leg) -> Printf.sprintf "%d(%s)" b (leg_name leg)) l))

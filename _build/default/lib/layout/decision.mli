@@ -1,0 +1,49 @@
+(** Layout decisions.
+
+    A decision is what an alignment algorithm produces: a permutation of a
+    procedure's basic blocks, plus the set of conditional blocks the
+    algorithm decided to align {e neither} edge of (the inverted-sense plus
+    inserted-jump lowering, profitable for tight loops).  The entry block
+    must stay first (a procedure's entry point is its first address, as in
+    the paper's link-time setting).  Everything else about the final code —
+    which edges become fall-throughs, where branch senses flip, where
+    unconditional jumps are inserted — is derived mechanically by
+    {!Lower}. *)
+
+type jump_leg =
+  | Jump_heavier  (** route the more frequent leg through the inserted jump
+                      (best under FALLTHROUGH: the hot path costs
+                      fall-through + jump instead of a mispredict) *)
+  | Jump_on_true  (** the [on_true] leg goes through the jump *)
+  | Jump_on_false
+      (** the [on_false] leg goes through the jump (e.g. under BT/FNT a hot
+          backward [on_true] leg is better kept as a correctly predicted
+          taken branch, with the rare exit jumping) *)
+
+type t = {
+  order : Ba_ir.Term.block_id array;
+  neither : jump_leg option array;
+      (** indexed by block id; [Some leg] forces the jump-insertion
+          ("align neither edge") lowering for that conditional even if one
+          of its targets happens to be adjacent, with [leg] through the
+          inserted jump *)
+}
+
+val identity : Ba_ir.Proc.t -> t
+(** The original compiler layout: blocks in array order, nothing forced. *)
+
+val of_order : ?neither:jump_leg option array -> Ba_ir.Term.block_id array -> t
+
+val of_chains :
+  ?neither:jump_leg option array -> Ba_ir.Term.block_id list list -> t
+(** Concatenate ordered chains into a block order. *)
+
+val position : t -> Ba_ir.Term.block_id array
+(** Inverse permutation: [(position d).(b)] is the position of block [b] in
+    the layout. *)
+
+val validate : Ba_ir.Proc.t -> t -> (unit, string) result
+(** The order must be a permutation of the procedure's blocks with the entry
+    block first, and the forced set must be sized to the procedure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = {
+  program : Ba_ir.Program.t;
+  linears : Linear.t array;
+  bases : int array;
+  total_size : int;
+}
+
+let build ?profile program decisions =
+  let n = Ba_ir.Program.n_procs program in
+  if Array.length decisions <> n then
+    invalid_arg "Image.build: one decision per procedure required";
+  let linears =
+    Array.init n (fun p ->
+        let proc = Ba_ir.Program.proc program p in
+        let cond_counts =
+          match profile with
+          | Some prof -> Some (fun b -> Ba_cfg.Profile.cond_counts prof p b)
+          | None -> None
+        in
+        Lower.lower ?cond_counts proc decisions.(p))
+  in
+  let bases = Array.make n 0 in
+  let addr = ref 0 in
+  Array.iteri
+    (fun p linear ->
+      bases.(p) <- !addr;
+      Array.iter
+        (fun (lb : Linear.lblock) ->
+          lb.Linear.addr <- !addr;
+          addr := !addr + Linear.block_size lb)
+        linear.Linear.blocks)
+    linears;
+  { program; linears; bases; total_size = !addr }
+
+let original ?profile program =
+  let decisions =
+    Array.init (Ba_ir.Program.n_procs program) (fun p ->
+        Decision.identity (Ba_ir.Program.proc program p))
+  in
+  build ?profile program decisions
+
+let entry_addr t p = t.bases.(p)
+
+let block_addr t p b =
+  let linear = t.linears.(p) in
+  let pos = (Decision.position linear.Linear.decision).(b) in
+  linear.Linear.blocks.(pos).Linear.addr
+
+let lblock t p pos = t.linears.(p).Linear.blocks.(pos)
+
+let validate t =
+  let n = Array.length t.linears in
+  let rec check p =
+    if p = n then Ok ()
+    else
+      match Linear.validate t.linears.(p) with
+      | Error e ->
+        Error (Printf.sprintf "%s: %s" (Ba_ir.Program.proc t.program p).Ba_ir.Proc.name e)
+      | Ok () -> check (p + 1)
+  in
+  check 0

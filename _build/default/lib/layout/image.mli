@@ -1,0 +1,35 @@
+(** Whole-program code images.
+
+    An image is the program with one linear layout per procedure and
+    absolute addresses assigned (procedures are placed in program order —
+    the paper reorders blocks within procedures only).  Addresses count
+    instructions; procedure [p]'s code starts at [bases.(p)]. *)
+
+type t = {
+  program : Ba_ir.Program.t;
+  linears : Linear.t array;
+  bases : int array;
+  total_size : int;
+}
+
+val build :
+  ?profile:Ba_cfg.Profile.t -> Ba_ir.Program.t -> Decision.t array -> t
+(** [build program decisions] lowers every procedure and assigns addresses.
+    [profile], when given, supplies the conditional counts used by
+    {!Lower.lower} for neither-adjacent conditionals.  Raises
+    [Invalid_argument] if the decision array length does not match or any
+    decision is invalid. *)
+
+val original : ?profile:Ba_cfg.Profile.t -> Ba_ir.Program.t -> t
+(** The identity layout of every procedure — the "Orig" rows of the paper's
+    tables. *)
+
+val entry_addr : t -> Ba_ir.Term.proc_id -> int
+
+val block_addr : t -> Ba_ir.Term.proc_id -> Ba_ir.Term.block_id -> int
+(** Address of a semantic block in the image. *)
+
+val lblock : t -> Ba_ir.Term.proc_id -> int -> Linear.lblock
+(** Layout block by (procedure, layout position). *)
+
+val validate : t -> (unit, string) result

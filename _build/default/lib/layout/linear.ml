@@ -1,0 +1,103 @@
+type cont = Fall | Jump_to of int
+
+type lterm =
+  | Lnone
+  | Ljump of int
+  | Lcond of { taken_pos : int; taken_on : bool; inserted_jump : int option }
+  | Lswitch of { positions : int array; weights : float array }
+  | Lcall of { callee : Ba_ir.Term.proc_id; cont : cont }
+  | Lvcall of { callees : Ba_ir.Term.proc_id array; weights : float array; cont : cont }
+  | Lret
+  | Lhalt
+
+type lblock = {
+  src : Ba_ir.Term.block_id;
+  insns : int;
+  term : lterm;
+  mutable addr : int;
+}
+
+type t = { proc : Ba_ir.Proc.t; decision : Decision.t; blocks : lblock array }
+
+let term_insns = function
+  | Lnone -> 0
+  | Ljump _ -> 1
+  | Lcond { inserted_jump = None; _ } -> 1
+  | Lcond { inserted_jump = Some _; _ } -> 2
+  | Lswitch _ -> 1
+  | Lcall { cont = Fall; _ } | Lvcall { cont = Fall; _ } -> 1
+  | Lcall { cont = Jump_to _; _ } | Lvcall { cont = Jump_to _; _ } -> 2
+  | Lret -> 1
+  | Lhalt -> 1
+
+let block_size lb = lb.insns + term_insns lb.term
+
+let code_size t = Array.fold_left (fun acc lb -> acc + block_size lb) 0 t.blocks
+
+let branch_pc lb = lb.addr + lb.insns
+
+let inserted_jump_pc lb = lb.addr + lb.insns + 1
+
+let validate t =
+  let n = Array.length t.blocks in
+  let in_range pos = pos >= 0 && pos < n in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    (match Decision.validate t.proc t.decision with
+    | Error e -> fail "decision: %s" e
+    | Ok () -> ());
+    if Array.length t.blocks <> Ba_ir.Proc.n_blocks t.proc then
+      fail "layout block count mismatch";
+    Array.iteri
+      (fun i lb ->
+        if lb.src <> t.decision.Decision.order.(i) then
+          fail "position %d: source block does not match decision" i;
+        let check pos = if not (in_range pos) then fail "position %d: target out of range" i in
+        let next_exists = i + 1 < n in
+        match lb.term with
+        | Lnone -> if not next_exists then fail "last block falls through off the end"
+        | Ljump pos -> check pos
+        | Lcond { taken_pos; inserted_jump; _ } ->
+          check taken_pos;
+          (match inserted_jump with
+          | Some pos -> check pos
+          | None -> if not next_exists then fail "last block's conditional falls off the end")
+        | Lswitch { positions; weights } ->
+          Array.iter check positions;
+          if Array.length positions <> Array.length weights then
+            fail "position %d: switch arity mismatch" i
+        | Lcall { cont; _ } | Lvcall { cont; _ } -> (
+          match cont with
+          | Jump_to pos -> check pos
+          | Fall -> if not next_exists then fail "last block's call falls off the end")
+        | Lret | Lhalt -> ())
+      t.blocks;
+    Ok ()
+  with Bad msg -> Error msg
+
+let pp_cont ppf = function
+  | Fall -> Fmt.string ppf "fall"
+  | Jump_to p -> Fmt.pf ppf "jump@%d" p
+
+let pp_lterm ppf = function
+  | Lnone -> Fmt.string ppf "fall"
+  | Ljump p -> Fmt.pf ppf "jump@%d" p
+  | Lcond { taken_pos; taken_on; inserted_jump } ->
+    Fmt.pf ppf "cond(taken when %b)@%d%a" taken_on taken_pos
+      (Fmt.option (fun ppf p -> Fmt.pf ppf " +jump@%d" p))
+      inserted_jump
+  | Lswitch _ -> Fmt.string ppf "switch"
+  | Lcall { callee; cont } -> Fmt.pf ppf "call p%d %a" callee pp_cont cont
+  | Lvcall { cont; _ } -> Fmt.pf ppf "vcall %a" pp_cont cont
+  | Lret -> Fmt.string ppf "ret"
+  | Lhalt -> Fmt.string ppf "halt"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri
+    (fun i lb ->
+      Fmt.pf ppf "%2d: b%-3d addr=%-6d insns=%-3d %a@," i lb.src lb.addr lb.insns
+        pp_lterm lb.term)
+    t.blocks;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,28 @@
+(** Lowering a layout decision to linear code.
+
+    Given the block permutation, lowering derives every fall-through,
+    inverts branch senses, and inserts unconditional jumps where a block's
+    required successor is not adjacent:
+
+    - a [Jump]/[Call]/[Vcall] successor that is next in layout costs no
+      branch instruction (or no continuation jump); otherwise an
+      unconditional branch is emitted;
+    - a conditional whose [on_true] (resp. [on_false]) target is next is
+      emitted with the sense making that target the fall-through;
+    - a conditional adjacent to neither target (or forced by the decision's
+      [neither] set) is emitted as a conditional branch plus an inserted
+      unconditional jump.  Unforced, the encoding is compiler-natural —
+      branch taken to [on_true], jump to [on_false]; a forced decision names
+      the jump leg, which is how the Cost/Try15 algorithms realise the
+      paper's loop transformation (§4). *)
+
+val lower :
+  ?cond_counts:(Ba_ir.Term.block_id -> int * int) ->
+  Ba_ir.Proc.t ->
+  Decision.t ->
+  Linear.t
+(** [lower ?cond_counts proc decision] produces linear code.  [cond_counts]
+    supplies per-conditional [(times-true, times-false)] profile counts,
+    consulted only for a forced [Jump_heavier] choice; it defaults to
+    treating the [on_true] leg as heavier.  Raises [Invalid_argument] on an
+    invalid decision. *)

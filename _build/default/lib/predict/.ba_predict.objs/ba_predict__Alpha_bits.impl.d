@@ -1,0 +1,1 @@
+lib/predict/alpha_bits.ml: Array

@@ -1,0 +1,1 @@
+lib/predict/counter2.ml:

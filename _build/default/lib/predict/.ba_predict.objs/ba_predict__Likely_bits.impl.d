@@ -1,0 +1,1 @@
+lib/predict/likely_bits.ml: Array Ba_cfg Ba_layout Hashtbl Image Linear Printf

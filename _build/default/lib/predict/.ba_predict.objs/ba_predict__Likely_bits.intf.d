@@ -1,0 +1,1 @@
+lib/predict/likely_bits.mli: Ba_cfg Ba_layout

@@ -1,0 +1,1 @@
+lib/predict/pht.ml: Array Counter2

@@ -1,0 +1,1 @@
+lib/predict/return_stack.ml: Array

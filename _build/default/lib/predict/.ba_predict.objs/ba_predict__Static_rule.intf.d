@@ -1,0 +1,1 @@
+lib/predict/static_rule.mli:

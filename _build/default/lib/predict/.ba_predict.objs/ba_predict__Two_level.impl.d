@@ -1,0 +1,1 @@
+lib/predict/two_level.ml: Array Counter2 Printf

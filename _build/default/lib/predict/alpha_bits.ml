@@ -1,0 +1,43 @@
+type line = {
+  mutable tag : int;  (* -1 = invalid *)
+  bits : bool array;  (* history bit per instruction slot *)
+  valid : bool array;  (* has this slot's bit been written since the fill? *)
+}
+
+type t = { lines : line array; line_mask : int; insns_per_line : int }
+
+let create ?(lines = 256) ?(insns_per_line = 8) () =
+  if lines <= 0 || lines land (lines - 1) <> 0 then
+    invalid_arg "Alpha_bits.create: line count must be a power of two";
+  if insns_per_line <= 0 then invalid_arg "Alpha_bits.create: bad line size";
+  {
+    lines =
+      Array.init lines (fun _ ->
+          {
+            tag = -1;
+            bits = Array.make insns_per_line false;
+            valid = Array.make insns_per_line false;
+          });
+    line_mask = lines - 1;
+    insns_per_line;
+  }
+
+let locate t ~pc =
+  let line_no = pc / t.insns_per_line in
+  let line = t.lines.(line_no land t.line_mask) in
+  (line, line_no, pc mod t.insns_per_line)
+
+let refill line tag =
+  line.tag <- tag;
+  Array.fill line.valid 0 (Array.length line.valid) false
+
+let predict t ~pc ~taken_target =
+  let line, tag, slot = locate t ~pc in
+  if line.tag = tag && line.valid.(slot) then line.bits.(slot)
+  else taken_target <= pc (* static BT/FNT on a cold bit *)
+
+let update t ~pc ~taken =
+  let line, tag, slot = locate t ~pc in
+  if line.tag <> tag then refill line tag;
+  line.bits.(slot) <- taken;
+  line.valid.(slot) <- true

@@ -1,0 +1,25 @@
+(** The Alpha AXP 21064's conditional-branch predictor (paper §6.1).
+
+    Each instruction in the on-chip cache carries a single history bit
+    recording the branch's last direction.  When a cache line is (re)filled,
+    the bits reset to a static BT/FNT prediction taken from the sign of each
+    branch's displacement.  The paper describes the resulting behaviour as
+    "a cross between a direct-mapped PHT table and a BT/FNT architecture";
+    this module models exactly that: a direct-mapped line store where
+    evictions fall back to BT/FNT.
+
+    The 21064's 8 KB instruction cache has 32-byte lines; with 4-byte
+    instructions that is 8 instructions per line and 256 lines. *)
+
+type t
+
+val create : ?lines:int -> ?insns_per_line:int -> unit -> t
+(** Defaults: 256 lines of 8 instructions. *)
+
+val predict : t -> pc:int -> taken_target:int -> bool
+(** Predicted direction of the conditional at [pc].  If [pc]'s line was
+    evicted (or never seen), the prediction is BT/FNT on [taken_target]. *)
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Record the resolved direction in [pc]'s history bit, filling the line if
+    needed. *)

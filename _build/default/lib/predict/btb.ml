@@ -1,0 +1,74 @@
+type entry = {
+  mutable tag : int;  (* full pc; -1 = invalid *)
+  mutable target : int;
+  mutable counter : int;  (* Counter2 state *)
+  mutable stamp : int;  (* LRU clock *)
+}
+
+type t = {
+  sets : entry array array;  (* sets.(set).(way) *)
+  set_mask : int;
+  mutable clock : int;
+}
+
+type lookup = Hit of { target : int; predict_taken : bool } | Miss
+
+let create ~entries ~assoc =
+  if assoc <= 0 || entries <= 0 || entries mod assoc <> 0 then
+    invalid_arg "Btb.create: entries must be a positive multiple of assoc";
+  let n_sets = entries / assoc in
+  if n_sets land (n_sets - 1) <> 0 then
+    invalid_arg "Btb.create: set count must be a power of two";
+  let fresh_entry () = { tag = -1; target = 0; counter = 0; stamp = 0 } in
+  {
+    sets = Array.init n_sets (fun _ -> Array.init assoc (fun _ -> fresh_entry ()));
+    set_mask = n_sets - 1;
+    clock = 0;
+  }
+
+let set_of t ~pc = t.sets.(pc land t.set_mask)
+
+let find_way set ~pc =
+  let n = Array.length set in
+  let rec scan i =
+    if i = n then None
+    else if set.(i).tag = pc then Some set.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let lookup t ~pc =
+  match find_way (set_of t ~pc) ~pc with
+  | Some e ->
+    Hit { target = e.target; predict_taken = Counter2.predict (Counter2.of_int e.counter) }
+  | None -> Miss
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+let update t ~pc ~taken ~target =
+  let set = set_of t ~pc in
+  match find_way set ~pc with
+  | Some e ->
+    e.counter <- (Counter2.update (Counter2.of_int e.counter) ~taken :> int);
+    if taken then e.target <- target;
+    touch t e
+  | None ->
+    if taken then begin
+      (* Allocate, evicting the LRU way (invalid entries have stamp 0 and
+         lose ties, so they are filled first). *)
+      let victim = Array.fold_left (fun acc e -> if e.stamp < acc.stamp then e else acc) set.(0) set in
+      victim.tag <- pc;
+      victim.target <- target;
+      victim.counter <- (Counter2.strongly_taken :> int);
+      touch t victim
+    end
+
+let entries t = Array.length t.sets * Array.length t.sets.(0)
+let assoc t = Array.length t.sets.(0)
+
+let occupancy t =
+  Array.fold_left
+    (fun acc set -> Array.fold_left (fun acc e -> if e.tag >= 0 then acc + 1 else acc) acc set)
+    0 t.sets

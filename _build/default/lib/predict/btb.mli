@@ -1,0 +1,35 @@
+(** Branch target buffers (paper §3).
+
+    A set-associative cache of {e taken} branches: each entry stores the
+    branch address (tag), its most recent taken target, and a 2-bit counter
+    used to predict the direction of conditional branches.  Lookups that
+    miss predict the fall-through path.  Replacement is LRU within a set.
+
+    The paper simulates a 64-entry 2-way and a 256-entry 4-way BTB (the
+    latter the Pentium's configuration). *)
+
+type t
+
+type lookup =
+  | Hit of { target : int; predict_taken : bool }
+  | Miss
+
+val create : entries:int -> assoc:int -> t
+(** [entries] must be a positive multiple of [assoc], with a power-of-two
+    set count. *)
+
+val lookup : t -> pc:int -> lookup
+(** Probe without updating replacement state. *)
+
+val update : t -> pc:int -> taken:bool -> target:int -> unit
+(** Train after resolving the branch: hits update the counter (and the
+    stored target when taken); misses allocate an entry only when the branch
+    was taken, evicting the set's LRU entry.  Newly allocated entries start
+    strongly taken. *)
+
+val entries : t -> int
+val assoc : t -> int
+
+val occupancy : t -> int
+(** Number of valid entries; alignment reduces this by making branches fall
+    through (the paper's explanation of the small-BTB benefit). *)

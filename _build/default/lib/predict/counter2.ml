@@ -1,0 +1,10 @@
+type t = int
+
+let initial = 1
+let strongly_taken = 3
+
+let predict c = c >= 2
+
+let update c ~taken = if taken then min 3 (c + 1) else max 0 (c - 1)
+
+let of_int n = max 0 (min 3 n)

@@ -1,0 +1,19 @@
+(** Two-bit saturating up/down counters, the prediction state used by both
+    the PHTs and the BTB entries (paper §3). *)
+
+type t = private int
+(** 0 = strongly not-taken, 1 = weakly not-taken, 2 = weakly taken,
+    3 = strongly taken. *)
+
+val initial : t
+(** Weakly not-taken: a cold counter predicts the fall-through, matching the
+    paper's BTB/PHT fall-through-on-miss convention. *)
+
+val strongly_taken : t
+(** Starting state for entries allocated on a taken branch. *)
+
+val predict : t -> bool
+val update : t -> taken:bool -> t
+
+val of_int : int -> t
+(** Clamped to [\[0, 3\]]; for tests. *)

@@ -1,0 +1,61 @@
+type set = { tags : int array; stamps : int array }
+
+type t = {
+  sets : set array;
+  set_mask : int;
+  insns_per_line : int;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ?(lines = 256) ?(insns_per_line = 8) ?(assoc = 1) () =
+  if lines <= 0 || assoc <= 0 || lines mod assoc <> 0 then
+    invalid_arg "Icache.create: lines must be a positive multiple of assoc";
+  let n_sets = lines / assoc in
+  if n_sets land (n_sets - 1) <> 0 then
+    invalid_arg "Icache.create: set count must be a power of two";
+  if insns_per_line <= 0 then invalid_arg "Icache.create: bad line size";
+  {
+    sets = Array.init n_sets (fun _ -> { tags = Array.make assoc (-1); stamps = Array.make assoc 0 });
+    set_mask = n_sets - 1;
+    insns_per_line;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let access_line t line_no =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let set = t.sets.(line_no land t.set_mask) in
+  let ways = Array.length set.tags in
+  let rec find i = if i = ways then None else if set.tags.(i) = line_no then Some i else find (i + 1) in
+  match find 0 with
+  | Some way -> set.stamps.(way) <- t.clock
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the LRU way (invalid ways have stamp 0 and lose ties). *)
+    let victim = ref 0 in
+    for w = 1 to ways - 1 do
+      if set.stamps.(w) < set.stamps.(!victim) then victim := w
+    done;
+    set.tags.(!victim) <- line_no;
+    set.stamps.(!victim) <- t.clock
+
+let touch_range t ~addr ~size =
+  if size <= 0 then 0
+  else begin
+    let before = t.misses in
+    let first = addr / t.insns_per_line in
+    let last = (addr + size - 1) / t.insns_per_line in
+    for line = first to last do
+      access_line t line
+    done;
+    t.misses - before
+  end
+
+let misses t = t.misses
+let accesses t = t.accesses
+
+let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses

@@ -1,0 +1,27 @@
+open Ba_layout
+
+type t = (int, bool) Hashtbl.t
+
+let build (image : Image.t) profile =
+  let hints = Hashtbl.create 256 in
+  Array.iteri
+    (fun p (linear : Linear.t) ->
+      Array.iter
+        (fun (lb : Linear.lblock) ->
+          match lb.Linear.term with
+          | Linear.Lcond { taken_on; _ } ->
+            let n_true, n_false = Ba_cfg.Profile.cond_counts profile p lb.Linear.src in
+            let majority_outcome = n_true >= n_false in
+            Hashtbl.replace hints (Linear.branch_pc lb) (majority_outcome = taken_on)
+          | Linear.Lnone | Linear.Ljump _ | Linear.Lswitch _ | Linear.Lcall _
+          | Linear.Lvcall _ | Linear.Lret | Linear.Lhalt -> ())
+        linear.Linear.blocks)
+    image.Image.linears;
+  hints
+
+let hint t pc =
+  match Hashtbl.find_opt t pc with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Likely_bits.hint: %d is not a conditional branch" pc)
+
+let count = Hashtbl.length

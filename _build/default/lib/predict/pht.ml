@@ -1,0 +1,49 @@
+type scheme = Direct | Gshare of { history_bits : int }
+
+type t = {
+  table : int array;  (* Counter2 states *)
+  mask : int;
+  scheme : scheme;
+  mutable history : int;
+}
+
+let check_power_of_two n =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Pht: entry count must be a positive power of two"
+
+let create_direct ~entries =
+  check_power_of_two entries;
+  {
+    table = Array.make entries (Counter2.initial :> int);
+    mask = entries - 1;
+    scheme = Direct;
+    history = 0;
+  }
+
+let create_gshare ~entries ~history_bits =
+  check_power_of_two entries;
+  if history_bits < 1 || history_bits > 30 then
+    invalid_arg "Pht.create_gshare: history_bits out of range";
+  {
+    table = Array.make entries (Counter2.initial :> int);
+    mask = entries - 1;
+    scheme = Gshare { history_bits };
+    history = 0;
+  }
+
+let index t ~pc =
+  match t.scheme with
+  | Direct -> pc land t.mask
+  | Gshare _ -> (pc lxor t.history) land t.mask
+
+let predict t ~pc = Counter2.predict (Counter2.of_int t.table.(index t ~pc))
+
+let update t ~pc ~taken =
+  let i = index t ~pc in
+  t.table.(i) <- (Counter2.update (Counter2.of_int t.table.(i)) ~taken :> int);
+  match t.scheme with
+  | Direct -> ()
+  | Gshare { history_bits } ->
+    t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land ((1 lsl history_bits) - 1)
+
+let entries t = Array.length t.table

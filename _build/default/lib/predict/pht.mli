@@ -1,0 +1,29 @@
+(** Pattern history tables (paper §3, "Dynamic Branch Prediction Methods").
+
+    Both variants store 2-bit saturating counters and predict conditional
+    branch {e directions} only (they do nothing for misfetches):
+
+    - {b direct-mapped}: indexed by the branch address;
+    - {b gshare}: indexed by the branch address XORed with a global
+      taken/not-taken history register — the variant McFarling found most
+      accurate, used by the paper as its "correlation PHT".
+
+    The paper's configuration is 4096 entries (1 KByte of 2-bit counters)
+    and, for the correlation table, a 12-bit global history. *)
+
+type t
+
+val create_direct : entries:int -> t
+(** [entries] must be a power of two. *)
+
+val create_gshare : entries:int -> history_bits:int -> t
+
+val predict : t -> pc:int -> bool
+(** Predicted direction for the conditional at [pc] (does not update any
+    state). *)
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Train the indexed counter and (gshare) shift the outcome into the global
+    history.  Call after {!predict} for each executed conditional. *)
+
+val entries : t -> int

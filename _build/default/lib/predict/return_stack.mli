@@ -1,0 +1,14 @@
+(** Return-address stack (Kaeli & Emma style; paper §6 simulates a 32-entry
+    stack in every architecture).
+
+    A fixed-depth circular stack: pushing beyond the depth silently
+    overwrites the oldest entry; popping an empty stack predicts nothing
+    (a guaranteed misprediction). *)
+
+type t
+
+val create : depth:int -> t
+val push : t -> int -> unit
+val pop : t -> int option
+val depth : t -> int
+val occupancy : t -> int

@@ -1,0 +1,52 @@
+type scheme =
+  | Global of { mutable history : int }
+  | Local of { histories : int array; branch_mask : int }
+
+type t = {
+  pattern : int array;  (* Counter2 states *)
+  pattern_mask : int;
+  scheme : scheme;
+}
+
+let check_bits bits =
+  if bits < 1 || bits > 24 then invalid_arg "Two_level: history bits out of range"
+
+let create_global ?(history_bits = 12) () =
+  check_bits history_bits;
+  {
+    pattern = Array.make (1 lsl history_bits) (Counter2.initial :> int);
+    pattern_mask = (1 lsl history_bits) - 1;
+    scheme = Global { history = 0 };
+  }
+
+let create_local ?(history_bits = 12) ?(branch_entries = 1024) () =
+  check_bits history_bits;
+  if branch_entries <= 0 || branch_entries land (branch_entries - 1) <> 0 then
+    invalid_arg "Two_level.create_local: branch_entries must be a power of two";
+  {
+    pattern = Array.make (1 lsl history_bits) (Counter2.initial :> int);
+    pattern_mask = (1 lsl history_bits) - 1;
+    scheme = Local { histories = Array.make branch_entries 0; branch_mask = branch_entries - 1 };
+  }
+
+let index t ~pc =
+  match t.scheme with
+  | Global { history } -> history land t.pattern_mask
+  | Local { histories; branch_mask } -> histories.(pc land branch_mask) land t.pattern_mask
+
+let predict t ~pc = Counter2.predict (Counter2.of_int t.pattern.(index t ~pc))
+
+let update t ~pc ~taken =
+  let i = index t ~pc in
+  t.pattern.(i) <- (Counter2.update (Counter2.of_int t.pattern.(i)) ~taken :> int);
+  let bit = if taken then 1 else 0 in
+  match t.scheme with
+  | Global g -> g.history <- ((g.history lsl 1) lor bit) land t.pattern_mask
+  | Local { histories; branch_mask } ->
+    let j = pc land branch_mask in
+    histories.(j) <- ((histories.(j) lsl 1) lor bit) land t.pattern_mask
+
+let name t =
+  match t.scheme with
+  | Global _ -> Printf.sprintf "global-2level-%d" (t.pattern_mask + 1)
+  | Local _ -> Printf.sprintf "local-2level-%d" (t.pattern_mask + 1)

@@ -1,0 +1,1 @@
+lib/report/harness.ml: Align Alpha Ba_core Ba_exec Ba_layout Ba_predict Ba_sim Ba_workloads Bep Cost_model List Runner

@@ -1,0 +1,1 @@
+lib/report/harness.mli: Ba_exec Ba_workloads

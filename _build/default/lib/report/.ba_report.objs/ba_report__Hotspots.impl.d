@@ -1,0 +1,1 @@
+lib/report/hotspots.ml: Array Ba_exec Ba_ir Ba_layout Ba_util Event Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/report/hotspots.mli: Ba_exec Ba_ir Ba_layout

@@ -1,0 +1,1 @@
+lib/report/tables.ml: Ascii_table Ba_core Ba_exec Ba_util Ba_workloads Harness List Stats

@@ -1,0 +1,184 @@
+open Ba_core
+open Ba_sim
+
+type arch_cpis = {
+  fallthrough : float;
+  btfnt : float;
+  likely : float;
+  pht_direct : float;
+  gshare : float;
+  btb64 : float;
+  btb256 : float;
+}
+
+type eval = {
+  workload : Ba_workloads.Spec.t;
+  orig_insns : int;
+  stats : Ba_exec.Trace_stats.summary;
+  orig : arch_cpis;
+  greedy : arch_cpis;
+  try15 : arch_cpis;
+  pct_ft_orig : float;
+  pct_ft_greedy : float;
+  pct_ft_try15_ft : float;
+  pct_ft_try15_btfnt : float;
+  pct_ft_try15_likely : float;
+  alpha : (float * float * float) option;
+}
+
+(* The paper's simulated configurations (§3): 4096-entry PHTs (1 KB of
+   2-bit counters), a 12-bit global history for the correlation PHT, a
+   64-entry 2-way and a 256-entry 4-way BTB. *)
+let pht_direct_arch = Bep.Pht_direct { entries = 4096 }
+let gshare_arch = Bep.Pht_gshare { entries = 4096; history_bits = 12 }
+let btb64_arch = Bep.Btb_arch { entries = 64; assoc = 2 }
+let btb256_arch = Bep.Btb_arch { entries = 256; assoc = 4 }
+
+(* Run one image against a list of architectures, where LIKELY bits are
+   derived from the image itself (profile-guided hints follow the rewritten
+   binary, as re-annotating after transformation would). *)
+let run_image ~max_steps ~profile ~archs image =
+  let archs =
+    List.map
+      (function
+        | `Likely -> Bep.Static_likely (Ba_predict.Likely_bits.build image profile)
+        | `Arch a -> a)
+      archs
+  in
+  Runner.simulate ~max_steps ~archs image
+
+let cpi outcome ~orig_insns arch_index =
+  let _, sim = List.nth outcome.Runner.sims arch_index in
+  Bep.relative_cpi sim ~insns:outcome.Runner.result.Ba_exec.Engine.insns ~orig_insns
+
+let full_archs =
+  [
+    `Arch Bep.Static_fallthrough;
+    `Arch Bep.Static_btfnt;
+    `Likely;
+    `Arch pht_direct_arch;
+    `Arch gshare_arch;
+    `Arch btb64_arch;
+    `Arch btb256_arch;
+  ]
+
+let cpis_of_full outcome ~orig_insns =
+  let c i = cpi outcome ~orig_insns i in
+  {
+    fallthrough = c 0;
+    btfnt = c 1;
+    likely = c 2;
+    pht_direct = c 3;
+    gshare = c 4;
+    btb64 = c 5;
+    btb256 = c 6;
+  }
+
+let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
+  let max_steps =
+    match max_steps with Some s -> s | None -> Ba_workloads.Spec.default_max_steps
+  in
+  let program = workload.Ba_workloads.Spec.build () in
+  let profile = Ba_exec.Engine.profile_program ~max_steps program in
+  let orig_image = Ba_layout.Image.original ~profile program in
+  let orig_out = run_image ~max_steps ~profile ~archs:full_archs orig_image in
+  let orig_insns = orig_out.Runner.result.Ba_exec.Engine.insns in
+  let greedy_image = Align.image Align.Greedy profile in
+  let greedy_out = run_image ~max_steps ~profile ~archs:full_archs greedy_image in
+  (* As in §6.1, layouts evaluated on BT/FNT use the Pettis & Hansen
+     precedence chain ordering; everything else uses weight-descending. *)
+  let greedy_btfnt_image =
+    Align.image Align.Greedy ~strategy:Ba_layout.Chain_order.Btfnt_precedence profile
+  in
+  let greedy_btfnt_out =
+    run_image ~max_steps ~profile ~archs:[ `Arch Bep.Static_btfnt ] greedy_btfnt_image
+  in
+  (* One Try15 alignment per architectural cost model. *)
+  let try15_image ?strategy arch = Align.image (Align.Tryn tryn) ?strategy ~arch profile in
+  let t15_ft_img = try15_image Cost_model.Fallthrough in
+  let t15_btfnt_img =
+    (* Two refinement rounds: the second pass knows the first layout's real
+       branch directions, which only BT/FNT cares about. *)
+    Align.image (Align.Tryn tryn) ~strategy:Ba_layout.Chain_order.Btfnt_precedence
+      ~arch:Cost_model.Btfnt ~refine_rounds:2 profile
+  in
+  let t15_likely_img = try15_image Cost_model.Likely in
+  let t15_pht_img = try15_image Cost_model.Pht in
+  let t15_btb_img = try15_image Cost_model.Btb in
+  let t15_ft =
+    run_image ~max_steps ~profile ~archs:[ `Arch Bep.Static_fallthrough ] t15_ft_img
+  in
+  let t15_btfnt =
+    run_image ~max_steps ~profile ~archs:[ `Arch Bep.Static_btfnt ] t15_btfnt_img
+  in
+  let t15_likely = run_image ~max_steps ~profile ~archs:[ `Likely ] t15_likely_img in
+  let t15_pht =
+    run_image ~max_steps ~profile ~archs:[ `Arch pht_direct_arch; `Arch gshare_arch ]
+      t15_pht_img
+  in
+  let t15_btb =
+    run_image ~max_steps ~profile ~archs:[ `Arch btb64_arch; `Arch btb256_arch ]
+      t15_btb_img
+  in
+  let try15 =
+    {
+      fallthrough = cpi t15_ft ~orig_insns 0;
+      btfnt = cpi t15_btfnt ~orig_insns 0;
+      likely = cpi t15_likely ~orig_insns 0;
+      pht_direct = cpi t15_pht ~orig_insns 0;
+      gshare = cpi t15_pht ~orig_insns 1;
+      btb64 = cpi t15_btb ~orig_insns 0;
+      btb256 = cpi t15_btb ~orig_insns 1;
+    }
+  in
+  let alpha =
+    if List.mem workload.Ba_workloads.Spec.name Ba_workloads.Spec.spec_c_programs then begin
+      (* Numeric programs carry a high floating-point share, which pairs
+         with integer-pipe work on the dual-issue 21064. *)
+      let fp_fraction =
+        match workload.Ba_workloads.Spec.cls with
+        | Ba_workloads.Spec.Fp -> 0.5
+        | Ba_workloads.Spec.Int | Ba_workloads.Spec.Other -> 0.08
+      in
+      let run_alpha image =
+        let result, alpha = Runner.simulate_alpha ~max_steps ~fp_fraction image in
+        Alpha.cycles alpha ~insns:result.Ba_exec.Engine.insns
+      in
+      let orig_cycles = run_alpha orig_image in
+      let greedy_cycles = run_alpha greedy_image in
+      let try15_cycles = run_alpha t15_btb_img in
+      Some (1.0, greedy_cycles /. orig_cycles, try15_cycles /. orig_cycles)
+    end
+    else None
+  in
+  {
+    workload;
+    orig_insns;
+    stats =
+      Ba_exec.Trace_stats.summarize orig_out.Runner.stats ~program ~insns:orig_insns;
+    orig = cpis_of_full orig_out ~orig_insns;
+    greedy =
+      { (cpis_of_full greedy_out ~orig_insns) with
+        btfnt = cpi greedy_btfnt_out ~orig_insns 0 };
+    try15;
+    pct_ft_orig = Ba_exec.Trace_stats.pct_cond_fallthrough orig_out.Runner.stats;
+    pct_ft_greedy = Ba_exec.Trace_stats.pct_cond_fallthrough greedy_out.Runner.stats;
+    pct_ft_try15_ft = Ba_exec.Trace_stats.pct_cond_fallthrough t15_ft.Runner.stats;
+    pct_ft_try15_btfnt = Ba_exec.Trace_stats.pct_cond_fallthrough t15_btfnt.Runner.stats;
+    pct_ft_try15_likely = Ba_exec.Trace_stats.pct_cond_fallthrough t15_likely.Runner.stats;
+    alpha;
+  }
+
+let evaluate_suite ?max_steps ?tryn workloads =
+  List.map (evaluate ?max_steps ?tryn) workloads
+
+let class_groups evals =
+  let group cls =
+    List.filter (fun e -> e.workload.Ba_workloads.Spec.cls = cls) evals
+  in
+  List.filter_map
+    (fun cls ->
+      match group cls with
+      | [] -> None
+      | es -> Some (Ba_workloads.Spec.cls_name cls, es))
+    [ Ba_workloads.Spec.Fp; Ba_workloads.Spec.Int; Ba_workloads.Spec.Other ]

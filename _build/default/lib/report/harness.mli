@@ -1,0 +1,56 @@
+(** Per-workload evaluation harness.
+
+    For one workload this runs the paper's full §5-§6 methodology:
+
+    + execute the original layout once to collect the edge profile;
+    + re-execute the original layout, feeding all seven branch
+      architectures (three static, two PHTs, two BTBs) and the trace
+      statistics;
+    + align with Greedy (architecture-oblivious) and re-execute likewise;
+    + align with Try15 once per architectural cost model (FALLTHROUGH,
+      BT/FNT, LIKELY, PHT, BTB) and execute each against its architectures;
+    + for Figure 4, run the Alpha 21064 timing model over the original,
+      Greedy and BTB-aligned Try15 images.
+
+    All relative-CPI numbers are against the original program's instruction
+    count, as in the paper. *)
+
+type arch_cpis = {
+  fallthrough : float;
+  btfnt : float;
+  likely : float;
+  pht_direct : float;
+  gshare : float;
+  btb64 : float;
+  btb256 : float;
+}
+
+type eval = {
+  workload : Ba_workloads.Spec.t;
+  orig_insns : int;
+  stats : Ba_exec.Trace_stats.summary;  (** Table 2 row, original layout *)
+  orig : arch_cpis;  (** Table 3/4 "Orig" columns *)
+  greedy : arch_cpis;  (** Table 3/4 "Greedy" columns *)
+  try15 : arch_cpis;
+      (** Table 3/4 "Try15" columns; each architecture's figure comes from
+          the image aligned with that architecture's cost model *)
+  pct_ft_orig : float;  (** fall-through conditional percentage, original *)
+  pct_ft_greedy : float;
+  pct_ft_try15_ft : float;  (** after Try15 under the FALLTHROUGH model *)
+  pct_ft_try15_btfnt : float;
+  pct_ft_try15_likely : float;
+  alpha : (float * float * float) option;
+      (** Figure 4: (orig, greedy, try15-BTB) relative execution times on
+          the 21064 model; computed for the SPEC C programs *)
+}
+
+val evaluate : ?max_steps:int -> ?tryn:int -> Ba_workloads.Spec.t -> eval
+(** [max_steps] defaults to {!Ba_workloads.Spec.default_max_steps}; [tryn]
+    to 15. *)
+
+val evaluate_suite :
+  ?max_steps:int -> ?tryn:int -> Ba_workloads.Spec.t list -> eval list
+
+val class_groups : eval list -> (string * eval list) list
+(** Group evaluations by workload class, preserving order, with the
+    paper's group labels. *)

@@ -1,0 +1,99 @@
+open Ba_exec
+
+type site = {
+  pc : int;
+  proc_name : string;
+  block : Ba_ir.Term.block_id;
+  kind : string;
+  executions : int;
+  taken : int;
+}
+
+type cell = { mutable execs : int; mutable takens : int; mutable kind : string }
+
+type t = {
+  image : Ba_layout.Image.t;
+  cells : (int, cell) Hashtbl.t;
+  mutable total : int;
+}
+
+let create image = { image; cells = Hashtbl.create 256; total = 0 }
+
+let kind_name (e : Event.t) =
+  match e.kind with
+  | Event.Cond _ -> "cond"
+  | Event.Uncond -> "uncond"
+  | Event.Indirect_jump -> "ijump"
+  | Event.Call -> "call"
+  | Event.Indirect_call -> "icall"
+  | Event.Ret -> "ret"
+
+let on_event t (e : Event.t) =
+  t.total <- t.total + 1;
+  let cell =
+    match Hashtbl.find_opt t.cells e.pc with
+    | Some c -> c
+    | None ->
+      let c = { execs = 0; takens = 0; kind = kind_name e } in
+      Hashtbl.add t.cells e.pc c;
+      c
+  in
+  cell.execs <- cell.execs + 1;
+  if Event.is_taken e then cell.takens <- cell.takens + 1
+
+(* Map a branch pc back to its procedure and semantic block. *)
+let locate (image : Ba_layout.Image.t) pc =
+  let found = ref None in
+  Array.iteri
+    (fun p (linear : Ba_layout.Linear.t) ->
+      Array.iter
+        (fun (lb : Ba_layout.Linear.lblock) ->
+          let base = lb.Ba_layout.Linear.addr in
+          if pc >= base && pc < base + Ba_layout.Linear.block_size lb then
+            found := Some (p, lb.Ba_layout.Linear.src))
+        linear.Ba_layout.Linear.blocks)
+    image.Ba_layout.Image.linears;
+  !found
+
+let top ?(k = 10) t =
+  let sites =
+    Hashtbl.fold
+      (fun pc (c : cell) acc ->
+        let proc_name, block =
+          match locate t.image pc with
+          | Some (p, b) ->
+            ((Ba_ir.Program.proc t.image.Ba_layout.Image.program p).Ba_ir.Proc.name, b)
+          | None -> ("?", -1)
+        in
+        { pc; proc_name; block; kind = c.kind; executions = c.execs; taken = c.takens }
+        :: acc)
+      t.cells []
+  in
+  let sorted = List.sort (fun a b -> compare b.executions a.executions) sites in
+  List.filteri (fun i _ -> i < k) sorted
+
+let render ?(k = 10) t =
+  let open Ba_util.Ascii_table in
+  let columns =
+    [
+      column ~align:Left "site"; column ~align:Left "kind"; column "pc";
+      column "executions"; column "share%"; column "cum%"; column "taken%";
+    ]
+  in
+  let cum = ref 0 in
+  let rows =
+    List.map
+      (fun s ->
+        cum := !cum + s.executions;
+        [
+          Printf.sprintf "%s:b%d" s.proc_name s.block;
+          s.kind;
+          string_of_int s.pc;
+          int_cell s.executions;
+          float_cell ~decimals:1 (Ba_util.Stats.pct s.executions t.total);
+          float_cell ~decimals:1 (Ba_util.Stats.pct !cum t.total);
+          float_cell ~decimals:1 (Ba_util.Stats.pct s.taken s.executions);
+        ])
+      (top ~k t)
+  in
+  render ~columns ~rows

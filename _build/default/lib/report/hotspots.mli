@@ -1,0 +1,30 @@
+(** Per-site branch hotspot analysis.
+
+    The paper motivates transformations by looking at individual routines —
+    "6% of all branches in ALVINN arise from a single branch from basic
+    block 4".  This module reproduces that analysis for any image: it
+    aggregates the event stream per branch instruction, maps addresses back
+    to procedures and blocks, and reports the hottest sites with their
+    taken rates and cumulative contribution (the data behind Table 2's Q
+    columns). *)
+
+type site = {
+  pc : int;
+  proc_name : string;
+  block : Ba_ir.Term.block_id;
+  kind : string;  (** "cond", "uncond", "ijump", "call", "icall", "ret" *)
+  executions : int;
+  taken : int;
+}
+
+type t
+
+val create : Ba_layout.Image.t -> t
+val on_event : t -> Ba_exec.Event.t -> unit
+
+val top : ?k:int -> t -> site list
+(** The [k] most-executed branch sites (default 10), hottest first. *)
+
+val render : ?k:int -> t -> string
+(** A table of the top sites: share of all branch events, cumulative share,
+    taken percentage, location. *)

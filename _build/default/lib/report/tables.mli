@@ -1,0 +1,20 @@
+(** Formatters that render the paper's tables and figure series from
+    harness evaluations, in the paper's row/column layout (programs grouped
+    as SPECfp92 / SPECint92 / Other, with per-group arithmetic averages). *)
+
+val table1 : unit -> string
+(** Table 1: the branch cost model in cycles. *)
+
+val table2 : Harness.eval list -> string
+(** Table 2: measured attributes of the traced programs. *)
+
+val table3 : Harness.eval list -> string
+(** Table 3: relative CPI for the static prediction architectures and the
+    fall-through percentages. *)
+
+val table4 : Harness.eval list -> string
+(** Table 4: relative CPI for the dynamic prediction architectures. *)
+
+val fig4 : Harness.eval list -> string
+(** Figure 4: relative total execution time on the Alpha 21064 model for
+    the SPEC92 C programs (Original / Pettis & Hansen / Try15). *)

@@ -1,0 +1,1 @@
+lib/sim/alpha.ml: Alpha_bits Array Ba_exec Ba_predict Event Hashtbl Icache Return_stack

@@ -1,0 +1,1 @@
+lib/sim/alpha.mli: Ba_exec Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/bep.ml: Ba_exec Ba_predict Ba_util Btb Event Likely_bits Pht Printf Return_stack Static_rule Two_level

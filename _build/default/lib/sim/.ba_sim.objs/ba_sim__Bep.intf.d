@@ -1,0 +1,1 @@
+lib/sim/bep.mli: Ba_exec Ba_predict

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Alpha Ba_exec Ba_isa Bep List

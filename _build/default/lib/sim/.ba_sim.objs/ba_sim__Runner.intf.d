@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Alpha Ba_exec Ba_layout Bep

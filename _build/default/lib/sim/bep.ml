@@ -1,0 +1,180 @@
+open Ba_exec
+open Ba_predict
+
+type arch =
+  | Static_fallthrough
+  | Static_btfnt
+  | Static_likely of Likely_bits.t
+  | Pht_direct of { entries : int }
+  | Pht_gshare of { entries : int; history_bits : int }
+  | Pht_global of { history_bits : int }
+  | Pht_local of { history_bits : int; branch_entries : int }
+  | Btb_arch of { entries : int; assoc : int }
+
+let arch_label = function
+  | Static_fallthrough -> "FALLTHROUGH"
+  | Static_btfnt -> "BT/FNT"
+  | Static_likely _ -> "LIKELY"
+  | Pht_direct { entries } -> Printf.sprintf "PHT-%d" entries
+  | Pht_gshare { entries; _ } -> Printf.sprintf "gshare-%d" entries
+  | Pht_global { history_bits } -> Printf.sprintf "GAg-%d" (1 lsl history_bits)
+  | Pht_local { history_bits; _ } -> Printf.sprintf "PAg-%d" (1 lsl history_bits)
+  | Btb_arch { entries; assoc } -> Printf.sprintf "BTB-%d/%d" entries assoc
+
+type penalties = { misfetch : int; mispredict : int }
+
+let default_penalties = { misfetch = 1; mispredict = 4 }
+
+type counts = {
+  misfetches : int;
+  mispredicts : int;
+  cond : int;
+  cond_taken : int;
+  cond_correct : int;
+  uncond : int;
+  calls : int;
+  indirect : int;
+  rets : int;
+  rets_correct : int;
+}
+
+type predictor =
+  | Rule of Static_rule.t
+  | Table of Pht.t
+  | Adaptive of Two_level.t
+  | Buffer of Btb.t
+
+type t = {
+  predictor : predictor;
+  ras : Return_stack.t;
+  penalties : penalties;
+  mutable c : counts;
+}
+
+let zero_counts =
+  {
+    misfetches = 0;
+    mispredicts = 0;
+    cond = 0;
+    cond_taken = 0;
+    cond_correct = 0;
+    uncond = 0;
+    calls = 0;
+    indirect = 0;
+    rets = 0;
+    rets_correct = 0;
+  }
+
+let create ?(penalties = default_penalties) ?(return_stack_depth = 32) arch =
+  let predictor =
+    match arch with
+    | Static_fallthrough -> Rule Static_rule.Fallthrough
+    | Static_btfnt -> Rule Static_rule.Btfnt
+    | Static_likely bits -> Rule (Static_rule.Likely (Likely_bits.hint bits))
+    | Pht_direct { entries } -> Table (Pht.create_direct ~entries)
+    | Pht_gshare { entries; history_bits } -> Table (Pht.create_gshare ~entries ~history_bits)
+    | Pht_global { history_bits } -> Adaptive (Two_level.create_global ~history_bits ())
+    | Pht_local { history_bits; branch_entries } ->
+      Adaptive (Two_level.create_local ~history_bits ~branch_entries ())
+    | Btb_arch { entries; assoc } -> Buffer (Btb.create ~entries ~assoc)
+  in
+  { predictor; ras = Return_stack.create ~depth:return_stack_depth; penalties; c = zero_counts }
+
+let misfetch t = t.c <- { t.c with misfetches = t.c.misfetches + 1 }
+let mispredict t = t.c <- { t.c with mispredicts = t.c.mispredicts + 1 }
+
+let on_cond t (e : Event.t) ~taken ~taken_target =
+  t.c <- { t.c with cond = t.c.cond + 1 };
+  if taken then t.c <- { t.c with cond_taken = t.c.cond_taken + 1 };
+  match t.predictor with
+  | Rule rule ->
+    let predicted = Static_rule.predict_taken rule ~pc:e.pc ~taken_target in
+    if predicted = taken then begin
+      t.c <- { t.c with cond_correct = t.c.cond_correct + 1 };
+      if taken then misfetch t
+    end
+    else mispredict t
+  | Table pht ->
+    let predicted = Pht.predict pht ~pc:e.pc in
+    Pht.update pht ~pc:e.pc ~taken;
+    if predicted = taken then begin
+      t.c <- { t.c with cond_correct = t.c.cond_correct + 1 };
+      if taken then misfetch t
+    end
+    else mispredict t
+  | Adaptive two ->
+    let predicted = Two_level.predict two ~pc:e.pc in
+    Two_level.update two ~pc:e.pc ~taken;
+    if predicted = taken then begin
+      t.c <- { t.c with cond_correct = t.c.cond_correct + 1 };
+      if taken then misfetch t
+    end
+    else mispredict t
+  | Buffer btb ->
+    let correct =
+      match Btb.lookup btb ~pc:e.pc with
+      | Btb.Hit { target; predict_taken } ->
+        if predict_taken then taken && target = e.target else not taken
+      | Btb.Miss -> not taken
+    in
+    Btb.update btb ~pc:e.pc ~taken ~target:e.target;
+    if correct then t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
+    else mispredict t
+
+let on_always_taken t (e : Event.t) =
+  (* Unconditional direct transfers: target known at decode, so the cost is
+     a misfetch for the static and PHT architectures; a BTB hit removes even
+     that. *)
+  match t.predictor with
+  | Rule _ | Table _ | Adaptive _ -> misfetch t
+  | Buffer btb -> (
+    match Btb.lookup btb ~pc:e.pc with
+    | Btb.Hit _ -> Btb.update btb ~pc:e.pc ~taken:true ~target:e.target
+    | Btb.Miss ->
+      misfetch t;
+      Btb.update btb ~pc:e.pc ~taken:true ~target:e.target)
+
+let on_indirect t (e : Event.t) =
+  match t.predictor with
+  | Rule _ | Table _ | Adaptive _ -> mispredict t
+  | Buffer btb -> (
+    match Btb.lookup btb ~pc:e.pc with
+    | Btb.Hit { target; _ } ->
+      if target <> e.target then mispredict t;
+      Btb.update btb ~pc:e.pc ~taken:true ~target:e.target
+    | Btb.Miss ->
+      mispredict t;
+      Btb.update btb ~pc:e.pc ~taken:true ~target:e.target)
+
+let on_event t (e : Event.t) =
+  match e.kind with
+  | Event.Cond { taken; taken_target } -> on_cond t e ~taken ~taken_target
+  | Event.Uncond ->
+    t.c <- { t.c with uncond = t.c.uncond + 1 };
+    on_always_taken t e
+  | Event.Call ->
+    t.c <- { t.c with calls = t.c.calls + 1 };
+    on_always_taken t e;
+    Return_stack.push t.ras (Event.fallthrough_addr e)
+  | Event.Indirect_jump ->
+    t.c <- { t.c with indirect = t.c.indirect + 1 };
+    on_indirect t e
+  | Event.Indirect_call ->
+    t.c <- { t.c with indirect = t.c.indirect + 1 };
+    on_indirect t e;
+    Return_stack.push t.ras (Event.fallthrough_addr e)
+  | Event.Ret -> (
+    t.c <- { t.c with rets = t.c.rets + 1 };
+    match Return_stack.pop t.ras with
+    | Some addr when addr = e.target -> t.c <- { t.c with rets_correct = t.c.rets_correct + 1 }
+    | Some _ | None -> mispredict t)
+
+let counts t = t.c
+
+let bep t =
+  (t.c.misfetches * t.penalties.misfetch) + (t.c.mispredicts * t.penalties.mispredict)
+
+let cond_accuracy t = Ba_util.Stats.ratio t.c.cond_correct t.c.cond
+
+let relative_cpi t ~insns ~orig_insns =
+  float_of_int (insns + bep t) /. float_of_int orig_insns

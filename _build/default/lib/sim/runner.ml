@@ -1,0 +1,35 @@
+type outcome = {
+  result : Ba_exec.Engine.result;
+  sims : (Bep.arch * Bep.t) list;
+  stats : Ba_exec.Trace_stats.t;
+}
+
+let simulate ?max_steps ?penalties ?return_stack_depth ~archs image =
+  let sims = List.map (fun arch -> (arch, Bep.create ?penalties ?return_stack_depth arch)) archs in
+  let stats = Ba_exec.Trace_stats.create () in
+  let on_event ev =
+    Ba_exec.Trace_stats.on_event stats ev;
+    List.iter (fun (_, sim) -> Bep.on_event sim ev) sims
+  in
+  let result = Ba_exec.Engine.run ?max_steps ~on_event image in
+  { result; sims; stats }
+
+let simulate_alpha ?max_steps ?config ?fp_fraction image =
+  let issue =
+    match fp_fraction with
+    | None -> None
+    | Some fp_fraction ->
+      Some (Ba_isa.Pairing.prefix_table (Ba_isa.Codegen.of_image ~fp_fraction image))
+  in
+  let alpha = Alpha.create ?config ?issue () in
+  let result =
+    Ba_exec.Engine.run ?max_steps ~on_event:(Alpha.on_event alpha)
+      ~on_block:(Alpha.on_block alpha) image
+  in
+  (result, alpha)
+
+let relative_cpis outcome ~orig_insns =
+  List.map
+    (fun (arch, sim) ->
+      (arch, Bep.relative_cpi sim ~insns:outcome.result.Ba_exec.Engine.insns ~orig_insns))
+    outcome.sims

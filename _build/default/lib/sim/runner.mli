@@ -1,0 +1,36 @@
+(** One execution, many architectures.
+
+    Branch predictors are independent consumers of the same event stream, so
+    a single interpreter pass can drive every architecture of interest at
+    once — the trace-driven methodology of the paper, without storing the
+    trace. *)
+
+type outcome = {
+  result : Ba_exec.Engine.result;
+  sims : (Bep.arch * Bep.t) list;  (** in the order given *)
+  stats : Ba_exec.Trace_stats.t;  (** trace statistics of the same run *)
+}
+
+val simulate :
+  ?max_steps:int ->
+  ?penalties:Bep.penalties ->
+  ?return_stack_depth:int ->
+  archs:Bep.arch list ->
+  Ba_layout.Image.t ->
+  outcome
+
+val simulate_alpha :
+  ?max_steps:int ->
+  ?config:Alpha.config ->
+  ?fp_fraction:float ->
+  Ba_layout.Image.t ->
+  Ba_exec.Engine.result * Alpha.t
+(** Run the 21064 timing model over one image.  [fp_fraction], when given,
+    materialises the image's instructions ({!Ba_isa.Codegen}) with that
+    floating-point share and uses the dual-issue pairing model for base
+    cycles instead of the ideal issue width. *)
+
+val relative_cpis :
+  outcome -> orig_insns:int -> (Bep.arch * float) list
+(** Relative CPI of every simulated architecture, against the original
+    program's instruction count. *)

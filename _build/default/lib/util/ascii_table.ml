@@ -1,0 +1,82 @@
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+let column ?(align = Right) title = { title; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let check_width ncols row =
+  if List.length row <> ncols then
+    invalid_arg "Ascii_table.render: row width mismatch"
+
+let widths columns rows =
+  let w = Array.of_list (List.map (fun c -> String.length c.title) columns) in
+  let update row =
+    List.iteri (fun i cell -> if String.length cell > w.(i) then w.(i) <- String.length cell) row
+  in
+  List.iter update rows;
+  w
+
+let render_line columns w row =
+  let cells =
+    List.mapi (fun i (c, cell) -> pad c.align w.(i) cell)
+      (List.combine columns row)
+  in
+  String.concat "  " cells
+
+let separator w =
+  String.concat "--" (Array.to_list (Array.map (fun n -> String.make n '-') w))
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  List.iter (check_width ncols) rows;
+  let w = widths columns rows in
+  let header = render_line columns w (List.map (fun c -> c.title) columns) in
+  let body = List.map (render_line columns w) rows in
+  String.concat "\n" (header :: separator w :: body) ^ "\n"
+
+let render_grouped ~columns ~groups =
+  let ncols = List.length columns in
+  List.iter (fun (_, rows) -> List.iter (check_width ncols) rows) groups;
+  let all_rows = List.concat_map snd groups in
+  let w = widths columns all_rows in
+  let header = render_line columns w (List.map (fun c -> c.title) columns) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (separator w);
+  Buffer.add_char buf '\n';
+  let emit_group (name, rows) =
+    if name <> "" then begin
+      Buffer.add_string buf ("-- " ^ name ^ " --");
+      Buffer.add_char buf '\n'
+    end;
+    List.iter
+      (fun row ->
+        Buffer.add_string buf (render_line columns w row);
+        Buffer.add_char buf '\n')
+      rows
+  in
+  List.iter emit_group groups;
+  Buffer.contents buf
+
+let float_cell ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let int_cell n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

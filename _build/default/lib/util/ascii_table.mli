@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints tables in the same row/column layout as the
+    paper; this module handles column sizing and alignment so that the
+    reporting code only supplies cells. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+val column : ?align:align -> string -> column
+(** [column title] is a right-aligned column (numeric data is the common
+    case); pass [~align:Left] for labels. *)
+
+val render : columns:column list -> rows:string list list -> string
+(** Render a table with a header row, a separator, and one line per row.
+    Raises [Invalid_argument] if any row's width differs from the header's. *)
+
+val render_grouped :
+  columns:column list -> groups:(string * string list list) list -> string
+(** Like {!render} but rows come in named groups; each group is preceded by a
+    separator with its name, as the paper separates SPECfp92 / SPECint92 /
+    Other. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point formatting, 3 decimals by default (the paper's CPI format). *)
+
+val int_cell : int -> string
+(** Decimal formatting with thousands separators, as in the paper's
+    instruction counts. *)

@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 finaliser: xor-shift / multiply mixing of the Weyl counter. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n land (n - 1) = 0 then bits30 t land (n - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let rec draw () =
+      let r = bits30 t in
+      let v = r mod n in
+      if r - v + (n - 1) < 0 then draw () else v
+    in
+    draw ()
+  end
+
+let float t x =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_weighted t a =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 a in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: weights must sum to a positive value";
+  let x = float t total in
+  let n = Array.length a in
+  let rec scan i acc =
+    if i = n - 1 then fst a.(i)
+    else
+      let acc = acc +. snd a.(i) in
+      if x < acc then fst a.(i) else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

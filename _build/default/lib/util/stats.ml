@@ -1,0 +1,69 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | x :: _ as xs ->
+    (* Welford's online algorithm keeps the variance numerically stable. *)
+    let count = ref 0 and mean = ref 0.0 and m2 = ref 0.0 in
+    let mn = ref x and mx = ref x in
+    let step v =
+      incr count;
+      let delta = v -. !mean in
+      mean := !mean +. (delta /. float_of_int !count);
+      m2 := !m2 +. (delta *. (v -. !mean));
+      if v < !mn then mn := v;
+      if v > !mx then mx := v
+    in
+    List.iter step xs;
+    { count = !count; mean = !mean; variance = !m2 /. float_of_int !count;
+      min = !mn; max = !mx }
+
+let mean xs = (summarize xs).mean
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty sample"
+  | xs ->
+    let n = List.length xs in
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int n)
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | xs ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+let quantile_sites ~weights ~fraction =
+  let counts = List.map snd weights in
+  let total = List.fold_left ( + ) 0 counts in
+  if total = 0 then 0
+  else begin
+    let sorted = List.sort (fun a b -> compare b a) counts in
+    let target = fraction *. float_of_int total in
+    let rec take n acc = function
+      | [] -> n
+      | c :: rest ->
+        let acc = acc + c in
+        if float_of_int acc >= target then n + 1 else take (n + 1) acc rest
+    in
+    take 0 0 sorted
+  end
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+let pct a b = 100.0 *. ratio a b

@@ -1,0 +1,35 @@
+(** Small statistics helpers used by trace analysis and reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** population variance *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Single-pass summary of a sample.  Raises [Invalid_argument] on the empty
+    list. *)
+
+val mean : float list -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]]: nearest-rank percentile of the
+    sample. *)
+
+val quantile_sites : weights:(int * int) list -> fraction:float -> int
+(** Paper Table 2 "Q-x" columns: [quantile_sites ~weights ~fraction] is the
+    smallest number of sites (given as [(site, count)] pairs) whose combined
+    counts reach [fraction] of the total count, counting heaviest sites
+    first.  Returns [0] when the total count is zero. *)
+
+val ratio : int -> int -> float
+(** [ratio a b] is [a / b] as a float, and [0.] when [b = 0]. *)
+
+val pct : int -> int -> float
+(** [pct a b] is [100 * a / b] as a float, and [0.] when [b = 0]. *)

@@ -1,0 +1,1 @@
+lib/workloads/builder.ml: Array Ba_ir Behavior Block Dynarray_compat List Printf Proc Program Term

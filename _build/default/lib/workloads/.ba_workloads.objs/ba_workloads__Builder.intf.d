@@ -1,0 +1,1 @@
+lib/workloads/builder.mli: Ba_ir

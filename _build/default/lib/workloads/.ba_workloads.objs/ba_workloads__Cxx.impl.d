@@ -1,0 +1,1 @@
+lib/workloads/cxx.ml: Ba_ir Behavior Builder

@@ -1,0 +1,1 @@
+lib/workloads/cxx.mli: Ba_ir

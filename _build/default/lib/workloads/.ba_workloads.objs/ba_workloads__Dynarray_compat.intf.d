@@ -1,0 +1,1 @@
+lib/workloads/dynarray_compat.mli:

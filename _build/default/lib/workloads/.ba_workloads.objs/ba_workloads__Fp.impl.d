@@ -1,0 +1,1 @@
+lib/workloads/fp.ml: Ba_ir Behavior Builder

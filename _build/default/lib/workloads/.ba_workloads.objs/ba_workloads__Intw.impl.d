@@ -1,0 +1,1 @@
+lib/workloads/intw.ml: Ba_ir Behavior Builder List

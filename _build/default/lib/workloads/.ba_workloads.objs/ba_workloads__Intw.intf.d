@@ -1,0 +1,1 @@
+lib/workloads/intw.mli: Ba_ir

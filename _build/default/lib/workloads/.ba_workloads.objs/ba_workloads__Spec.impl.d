@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Ba_ir Cxx Fp Intw List

@@ -1,0 +1,265 @@
+(* The five "Other" stand-ins: C++ and text-processing programs the paper
+   added because SPEC92 "did not typify the behavior seen in large programs
+   or C++ programs".
+
+   Signature imitated: many small procedures, deep call chains, and — for
+   the C++ programs — dynamic dispatch implemented as indirect jumps
+   (vcalls), which show up in the paper's %IJ column and stress the BTB and
+   the return stack. *)
+
+open Ba_ir
+open Builder
+
+(* CFRONT: the AT&T C++ front end — a token loop feeding a large dispatch,
+   with virtual calls on AST nodes and deep call chains. *)
+let cfront () =
+  let b = create ~name:"cfront" ~seed:0xCF07 in
+  let main = declare b ~name:"main" in
+  let get_token = declare b ~name:"get_token" in
+  let expr_node = declare b ~name:"expr_typecheck" in
+  let stmt_node = declare b ~name:"stmt_typecheck" in
+  let decl_node = declare b ~name:"decl_typecheck" in
+  let simpl = declare b ~name:"simpl" in
+  define b get_token (fun pb ->
+      seq pb
+        [
+          (fun pb ->
+            do_while pb ~behavior:(Behavior.Bias 0.25) ~trips:2
+              ~body:(fun pb -> basic pb ~insns:3 ()) (* skip whitespace *));
+          (fun pb ->
+            if_else pb ~p_true:0.6
+              ~then_:(fun pb -> basic pb ~insns:4 ())
+              ~else_:(fun pb -> basic pb ~insns:6 ()));
+        ]);
+  define b expr_node (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:5 ());
+          (fun pb ->
+            if_then pb ~p_true:0.35
+              ~then_:(fun pb -> call pb ~insns:2 get_token) (* re-lex lookahead *));
+        ]);
+  define b stmt_node (fun pb ->
+      if_else pb ~p_true:0.5
+        ~then_:(fun pb -> basic pb ~insns:6 ())
+        ~else_:(fun pb -> call pb ~insns:2 expr_node));
+  define b decl_node (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:7 ());
+          (fun pb ->
+            if_then pb ~p_true:0.4 ~then_:(fun pb -> call pb ~insns:2 expr_node));
+        ]);
+  define b simpl (fun pb ->
+      do_while pb ~behavior:(Behavior.Bias 0.55) ~trips:3
+        ~body:(fun pb ->
+          vcall pb ~insns:3 [ (expr_node, 0.5); (stmt_node, 0.3); (decl_node, 0.2) ]));
+  define b main (fun pb ->
+      driver pb ~trips:17_000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:2 get_token);
+              (fun pb ->
+                vcall pb ~insns:3
+                  [ (expr_node, 0.45); (stmt_node, 0.35); (decl_node, 0.2) ]);
+              (fun pb ->
+                if_then pb ~p_true:0.25 ~then_:(fun pb -> call pb ~insns:2 simpl));
+            ]));
+  build b
+
+(* DB++ (deltablue): incremental constraint solver — plan execution walks a
+   chain of constraints, each executed through a virtual method; whether a
+   constraint is already satisfied clusters strongly. *)
+let dbxx () =
+  let b = create ~name:"db++" ~seed:0xDB99 in
+  let main = declare b ~name:"main" in
+  let execute_eq = declare b ~name:"EqualityConstraint::execute" in
+  let execute_scale = declare b ~name:"ScaleConstraint::execute" in
+  let execute_stay = declare b ~name:"StayConstraint::execute" in
+  let add_propagate = declare b ~name:"add_propagate" in
+  define b execute_eq (fun pb -> basic pb ~insns:4 ());
+  define b execute_scale (fun pb -> basic pb ~insns:7 ());
+  define b execute_stay (fun pb -> basic pb ~insns:2 ());
+  define b add_propagate (fun pb ->
+      do_while pb ~behavior:(Behavior.Bias 0.75) ~trips:4
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb ->
+                if_else pb
+                  ~behavior:
+                    (Behavior.Markov { p_stay_true = 0.88; p_stay_false = 0.6; init = true })
+                  ~p_true:0.7
+                  ~then_:(fun pb -> basic pb ~insns:3 ()) (* already satisfied *)
+                  ~else_:(fun pb ->
+                    vcall pb ~insns:2
+                      [ (execute_eq, 0.5); (execute_scale, 0.3); (execute_stay, 0.2) ]));
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:20_000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:4 ());
+              (fun pb -> call pb ~insns:2 add_propagate);
+              (fun pb ->
+                if_then pb ~p_true:0.15
+                  ~then_:(fun pb ->
+                    vcall pb ~insns:2 [ (execute_eq, 0.6); (execute_stay, 0.4) ]));
+            ]));
+  build b
+
+(* GROFF: the ditroff formatter in C++ — per-character processing with a
+   skewed character-class dispatch, rare hyphenation work, and output
+   flushes through virtual node methods. *)
+let groff () =
+  let b = create ~name:"groff" ~seed:0x6055 in
+  let main = declare b ~name:"main" in
+  let out_glyph = declare b ~name:"glyph_node::output" in
+  let out_space = declare b ~name:"space_node::output" in
+  let hyphenate = declare b ~name:"hyphenate_word" in
+  let flush_line = declare b ~name:"flush_line" in
+  define b out_glyph (fun pb -> basic pb ~insns:5 ());
+  define b out_space (fun pb -> basic pb ~insns:3 ());
+  define b hyphenate (fun pb ->
+      do_while pb ~behavior:(Behavior.Bias 0.7) ~trips:4
+        ~body:(fun pb ->
+          if_else pb ~p_true:0.45
+            ~then_:(fun pb -> basic pb ~insns:4 ())
+            ~else_:(fun pb -> basic pb ~insns:6 ())));
+  define b flush_line (fun pb ->
+      do_while pb ~trips:60
+        ~body:(fun pb ->
+          vcall pb ~insns:2 [ (out_glyph, 0.8); (out_space, 0.2) ]));
+  define b main (fun pb ->
+      driver pb ~trips:20_000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb ->
+                switch pb ~insns:3
+                  ~cases:
+                    [
+                      (0.62, fun pb -> basic pb ~insns:4 ()) (* ordinary char *);
+                      (0.2, fun pb -> basic pb ~insns:3 ()) (* space *);
+                      (0.12, fun pb -> basic pb ~insns:7 ()) (* escape *);
+                      (0.06, fun pb -> basic pb ~insns:5 ()) (* request *);
+                    ]);
+              (fun pb ->
+                if_then pb ~p_true:0.04 ~then_:(fun pb -> call pb ~insns:2 hyphenate));
+              (fun pb ->
+                if_then pb ~p_true:0.016 ~then_:(fun pb -> call pb ~insns:2 flush_line));
+            ]));
+  build b
+
+(* IDL: a CORBA interface-definition-language parser — recursive descent
+   with one small procedure per production and virtual AST construction. *)
+let idl () =
+  let b = create ~name:"idl" ~seed:0x1D10 in
+  let main = declare b ~name:"main" in
+  let parse_def = declare b ~name:"parse_definition" in
+  let parse_type = declare b ~name:"parse_type_spec" in
+  let parse_member = declare b ~name:"parse_member" in
+  let make_node = declare b ~name:"AST_Node::make" in
+  define b make_node (fun pb ->
+      if_else pb ~p_true:0.55
+        ~then_:(fun pb -> basic pb ~insns:4 ())
+        ~else_:(fun pb -> basic pb ~insns:6 ()));
+  define b parse_type (fun pb ->
+      seq pb
+        [
+          (fun pb ->
+            switch pb ~insns:3
+              ~cases:
+                [
+                  (0.5, fun pb -> basic pb ~insns:3 ()) (* base type *);
+                  (0.3, fun pb -> vcall pb ~insns:2 [ (make_node, 1.0) ]);
+                  (0.2, fun pb -> basic pb ~insns:5 ()) (* scoped name *);
+                ]);
+        ]);
+  define b parse_member (fun pb ->
+      seq pb
+        [
+          (fun pb -> call pb ~insns:2 parse_type);
+          (fun pb -> vcall pb ~insns:2 [ (make_node, 1.0) ]);
+          (fun pb ->
+            if_then pb ~p_true:0.3 ~then_:(fun pb -> basic pb ~insns:4 ()));
+        ]);
+  define b parse_def (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:4 ());
+          (fun pb ->
+            do_while pb ~behavior:(Behavior.Bias 0.65) ~trips:3
+              ~body:(fun pb -> call pb ~insns:2 parse_member));
+          (* Nested interface: bounded recursion. *)
+          (fun pb ->
+            if_then pb ~p_true:0.18 ~then_:(fun pb -> call pb ~insns:2 parse_def));
+        ]);
+  define b main (fun pb ->
+      driver pb ~trips:9_000
+        ~body:(fun pb ->
+          seq pb
+            [ (fun pb -> basic pb ~insns:3 ()); (fun pb -> call pb ~insns:2 parse_def) ]));
+  build b
+
+(* TEX: typesetting — the main control loop fetches tokens (through a
+   procedure), dispatches on command codes, and periodically runs the
+   paragraph builder's inner loop. *)
+let tex () =
+  let b = create ~name:"tex" ~seed:0x7E50 in
+  let main = declare b ~name:"main_control" in
+  let get_next = declare b ~name:"get_next" in
+  let line_break = declare b ~name:"line_break" in
+  let hpack = declare b ~name:"hpack" in
+  define b get_next (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:4 ());
+          (fun pb ->
+            if_then pb ~p_true:0.12 ~then_:(fun pb -> basic pb ~insns:6 ())
+            (* macro expansion *));
+        ]);
+  define b hpack (fun pb ->
+      do_while pb ~trips:14 ~body:(fun pb -> basic pb ~insns:6 ()));
+  define b line_break (fun pb ->
+      while_loop pb ~trips:25
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb ->
+                if_else pb ~p_true:0.3
+                  ~then_:(fun pb -> basic pb ~insns:8 ()) (* feasible breakpoint *)
+                  ~else_:(fun pb -> basic pb ~insns:3 ()));
+              (fun pb ->
+                if_then pb ~p_true:0.2 ~then_:(fun pb -> call pb ~insns:2 hpack));
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:26_000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:2 get_next);
+              (fun pb ->
+                switch pb ~insns:3
+                  ~cases:
+                    [
+                      (0.55, fun pb -> basic pb ~insns:4 ()) (* letter *);
+                      (0.2, fun pb -> basic pb ~insns:3 ()) (* spacer *);
+                      (0.15, fun pb -> basic pb ~insns:6 ()) (* command *);
+                      (0.1, fun pb -> basic pb ~insns:5 ()) (* math shift *);
+                    ]);
+              (fun pb ->
+                if_then pb ~p_true:0.01 ~then_:(fun pb -> call pb ~insns:2 line_break));
+            ]));
+  build b
+
+let all =
+  [
+    ("cfront", cfront, "C++ front end; token loop, AST vcalls, deep call chains");
+    ("db++", dbxx, "deltablue constraint solver; virtual execute methods");
+    ("groff", groff, "ditroff formatter; skewed per-character dispatch");
+    ("idl", idl, "CORBA IDL parser; recursive descent, one proc per production");
+    ("tex", tex, "typesetting; token fetch, command dispatch, paragraph builder");
+  ]

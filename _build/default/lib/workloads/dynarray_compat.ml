@@ -1,0 +1,20 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let cap = max 8 (2 * Array.length t.data) in
+    let data = Array.make cap x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray_compat.get: index out of bounds";
+  t.data.(i)
+
+let length t = t.len

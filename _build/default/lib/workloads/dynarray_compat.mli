@@ -1,0 +1,11 @@
+(** Minimal growable array (OCaml 5.1's stdlib predates [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a -> int
+(** Append and return the element's index. *)
+
+val get : 'a t -> int -> 'a
+val length : 'a t -> int

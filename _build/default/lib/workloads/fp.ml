@@ -1,0 +1,399 @@
+(* The thirteen SPECfp92 stand-ins.
+
+   Common signature being imitated (paper Table 2): few instructions break
+   control flow (~4-8%), conditional branches are mostly loop tests and
+   therefore heavily taken (60-90%), a handful of branch sites dominate
+   (Q-50 of 1-5), and calls/returns are rare.  The builders below realise
+   that with long counted loops, large straight-line blocks, and shallow
+   call graphs; each program differs in nesting shape, block sizes and the
+   data-dependent branches of its namesake. *)
+
+open Ba_ir
+open Builder
+
+(* ALVINN: a back-propagation network simulator.  The paper singles out
+   input_hidden / hidden_input (Figure 2): a single 11-instruction basic
+   block looping on itself accounts for most branches.  We reproduce that
+   structure exactly: two procedures dominated by one self-loop each,
+   driven by a training-epoch loop. *)
+let alvinn () =
+  let b = create ~name:"alvinn" ~seed:0xA171 in
+  let main = declare b ~name:"main" in
+  let input_hidden = declare b ~name:"input_hidden" in
+  let hidden_input = declare b ~name:"hidden_input" in
+  let output_err = declare b ~name:"output_error" in
+  define b input_hidden (fun pb ->
+      seq pb [ (fun pb -> basic pb ~insns:6 ()); (fun pb -> self_loop ~insns:11 pb ~trips:1200) ]);
+  define b hidden_input (fun pb ->
+      seq pb [ (fun pb -> basic pb ~insns:6 ()); (fun pb -> self_loop ~insns:11 pb ~trips:1200) ]);
+  define b output_err (fun pb ->
+      do_while pb ~trips:30 ~body:(fun pb -> basic pb ~insns:14 ()));
+  define b main (fun pb ->
+      driver pb ~trips:90
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 input_hidden);
+              (fun pb -> call pb ~insns:3 hidden_input);
+              (fun pb -> call pb ~insns:3 output_err);
+            ]));
+  build b
+
+(* DODUC: Monte-Carlo simulation of a nuclear reactor component; dominated
+   by a few very hot branch sites (the paper notes three sites cover 50% of
+   executed branches) and straight-line numeric code. *)
+let doduc () =
+  let b = create ~name:"doduc" ~seed:0xD0D0 in
+  let main = declare b ~name:"main" in
+  let integrate = declare b ~name:"integrate" in
+  let interp = declare b ~name:"interpolate" in
+  define b interp (fun pb ->
+      (* Table lookup: a short search loop with a biased early-out. *)
+      seq pb
+        [
+          (fun pb ->
+            do_while pb ~latch_insns:3
+              ~behavior:(Behavior.Bias 0.82) ~trips:6
+              ~body:(fun pb -> basic pb ~insns:7 ()));
+          (fun pb -> basic pb ~insns:18 ());
+        ]);
+  define b integrate (fun pb ->
+      do_while pb ~trips:40
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:22 ());
+              (fun pb ->
+                if_then pb ~p_true:0.07 ~then_:(fun pb -> basic pb ~insns:12 ()));
+              (fun pb -> call pb ~insns:4 interp);
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:500
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:9 ()); (fun pb -> call pb ~insns:3 integrate) ]));
+  build b
+
+(* EAR: an inner-ear model — a cascade of filter-bank loops applied per
+   input sample; several sequential hot loops of moderate body size. *)
+let ear () =
+  let b = create ~name:"ear" ~seed:0xEA12 in
+  let main = declare b ~name:"main" in
+  let filter_bank = declare b ~name:"filter_bank" in
+  let compress_stage = declare b ~name:"agc_stage" in
+  define b filter_bank (fun pb ->
+      seq pb
+        [
+          (fun pb -> do_while pb ~trips:34 ~body:(fun pb -> basic pb ~insns:16 ()));
+          (fun pb -> do_while pb ~trips:34 ~body:(fun pb -> basic pb ~insns:13 ()));
+          (fun pb -> do_while pb ~trips:34 ~body:(fun pb -> basic pb ~insns:19 ()));
+        ]);
+  define b compress_stage (fun pb ->
+      do_while pb ~trips:34 ~body:(fun pb -> basic pb ~insns:9 ()));
+  define b main (fun pb ->
+      driver pb ~trips:1000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 filter_bank);
+              (fun pb -> call pb ~insns:3 compress_stage);
+            ]));
+  build b
+
+(* FPPPP: two-electron integral derivatives, famous for enormous basic
+   blocks — very low break density is its defining trait. *)
+let fpppp () =
+  let b = create ~name:"fpppp" ~seed:0xF999 in
+  let main = declare b ~name:"main" in
+  let twoel = declare b ~name:"twoel" in
+  define b twoel (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:140 ());
+          (fun pb ->
+            if_then pb ~cond_insns:4 ~p_true:0.5 ~then_:(fun pb -> basic pb ~insns:120 ()));
+          (fun pb -> basic pb ~insns:95 ());
+        ]);
+  define b main (fun pb ->
+      driver pb ~trips:12_000
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:30 ()); (fun pb -> call pb ~insns:4 twoel) ]));
+  build b
+
+(* HYDRO2D: Navier-Stokes on a 2-D grid — doubly nested grid sweeps with a
+   rare boundary condition test in the inner body. *)
+let hydro2d () =
+  let b = create ~name:"hydro2d" ~seed:0x42D0 in
+  let main = declare b ~name:"main" in
+  let sweep = declare b ~name:"grid_sweep" in
+  define b sweep (fun pb ->
+      while_loop pb ~trips:55
+        ~body:(fun pb ->
+          do_while pb ~trips:55
+            ~body:(fun pb ->
+              seq pb
+                [
+                  (fun pb -> basic pb ~insns:17 ());
+                  (fun pb ->
+                    if_then pb ~p_true:0.04 ~then_:(fun pb -> basic pb ~insns:6 ()));
+                ])));
+  define b main (fun pb ->
+      driver pb ~trips:60
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:8 ()); (fun pb -> call pb ~insns:3 sweep) ]));
+  build b
+
+(* MDLJSP2: molecular dynamics — a pairwise-interaction loop whose cutoff
+   test fails for most pairs (a frequently not-taken branch), plus a
+   neighbour-list rebuild every few steps. *)
+let mdljsp2 () =
+  let b = create ~name:"mdljsp2" ~seed:0x3D25 in
+  let main = declare b ~name:"main" in
+  let forces = declare b ~name:"forces" in
+  let rebuild = declare b ~name:"neighbor_rebuild" in
+  define b forces (fun pb ->
+      do_while pb ~trips:600
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:8 ());
+              (fun pb ->
+                if_else pb ~p_true:0.28 (* within cutoff *)
+                  ~then_:(fun pb -> basic pb ~insns:24 ())
+                  ~else_:(fun pb -> basic pb ~insns:2 ()));
+            ]));
+  define b rebuild (fun pb ->
+      do_while pb ~trips:200 ~body:(fun pb -> basic pb ~insns:12 ()));
+  define b main (fun pb ->
+      driver pb ~trips:110
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 forces);
+              (fun pb ->
+                if_then pb ~p_true:0.1 ~then_:(fun pb -> call pb ~insns:2 rebuild));
+            ]));
+  build b
+
+(* NASA7: seven numeric kernels run in sequence — several distinct loop
+   nests of different shapes under one driver loop. *)
+let nasa7 () =
+  let b = create ~name:"nasa7" ~seed:0x7A5A in
+  let main = declare b ~name:"main" in
+  let mxm = declare b ~name:"kernel_mxm" in
+  let fft = declare b ~name:"kernel_fft" in
+  let chol = declare b ~name:"kernel_cholesky" in
+  let emit = declare b ~name:"kernel_emit" in
+  define b mxm (fun pb ->
+      while_loop pb ~trips:24
+        ~body:(fun pb ->
+          do_while pb ~trips:24 ~body:(fun pb -> basic pb ~insns:21 ())));
+  define b fft (fun pb ->
+      while_loop pb ~trips:9
+        ~body:(fun pb ->
+          do_while pb ~trips:64 ~body:(fun pb -> basic pb ~insns:15 ())));
+  define b chol (fun pb ->
+      while_loop pb ~trips:30
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> do_while pb ~trips:15 ~body:(fun pb -> basic pb ~insns:11 ()));
+              (fun pb -> basic pb ~insns:7 ());
+            ]));
+  define b emit (fun pb ->
+      do_while pb ~trips:120 ~body:(fun pb -> basic pb ~insns:18 ()));
+  define b main (fun pb ->
+      driver pb ~trips:100
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:2 mxm);
+              (fun pb -> call pb ~insns:2 fft);
+              (fun pb -> call pb ~insns:2 chol);
+              (fun pb -> call pb ~insns:2 emit);
+            ]));
+  build b
+
+(* ORA: optical ray tracing through lens assemblies — a tight geometric
+   loop that almost always continues, with heavy straight-line maths. *)
+let ora () =
+  let b = create ~name:"ora" ~seed:0x08A0 in
+  let main = declare b ~name:"main" in
+  let trace_ray = declare b ~name:"trace_ray" in
+  define b trace_ray (fun pb ->
+      do_while pb ~behavior:(Behavior.Bias 0.985) ~trips:60
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:34 ());
+              (fun pb ->
+                if_then pb ~p_true:0.02 ~then_:(fun pb -> basic pb ~insns:10 ()));
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:3600
+        ~body:(fun pb -> call pb ~insns:4 trace_ray));
+  build b
+
+(* SPICE: circuit simulation — sparse-matrix traversal where runs of
+   nonzeros cluster (a Markov branch), plus a device-model dispatch. *)
+let spice () =
+  let b = create ~name:"spice" ~seed:0x591C in
+  let main = declare b ~name:"main" in
+  let load = declare b ~name:"matrix_load" in
+  let device = declare b ~name:"device_eval" in
+  define b device (fun pb ->
+      switch pb ~insns:4
+        ~cases:
+          [
+            (0.55, fun pb -> basic pb ~insns:26 ());
+            (0.3, fun pb -> basic pb ~insns:19 ());
+            (0.15, fun pb -> basic pb ~insns:31 ());
+          ]);
+  define b load (fun pb ->
+      do_while pb ~trips:700
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb ->
+                if_else pb
+                  ~behavior:
+                    (Behavior.Markov { p_stay_true = 0.85; p_stay_false = 0.7; init = true })
+                  ~p_true:0.6
+                  ~then_:(fun pb -> basic pb ~insns:9 ())
+                  ~else_:(fun pb -> basic pb ~insns:3 ()));
+              (fun pb ->
+                if_then pb ~p_true:0.12 ~then_:(fun pb -> call pb ~insns:3 device));
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:130
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:11 ()); (fun pb -> call pb ~insns:3 load) ]));
+  build b
+
+(* SU2COR: quark-gluon lattice QCD — deep, short loop nests over 4-D
+   lattice dimensions, giving a very high density of taken loop branches. *)
+let su2cor () =
+  let b = create ~name:"su2cor" ~seed:0x52C0 in
+  let main = declare b ~name:"main" in
+  let update = declare b ~name:"lattice_update" in
+  define b update (fun pb ->
+      while_loop pb ~trips:8
+        ~body:(fun pb ->
+          while_loop pb ~trips:8
+            ~body:(fun pb ->
+              do_while pb ~trips:8
+                ~body:(fun pb ->
+                  do_while pb ~trips:8 ~body:(fun pb -> basic pb ~insns:13 ())))));
+  define b main (fun pb ->
+      driver pb ~trips:42
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:10 ()); (fun pb -> call pb ~insns:3 update) ]));
+  build b
+
+(* SWM256: shallow-water model on a 256-wide grid — long inner loops of
+   vectorisable code, the highest taken-rate of the suite. *)
+let swm256 () =
+  let b = create ~name:"swm256" ~seed:0x5256 in
+  let main = declare b ~name:"main" in
+  let calc = declare b ~name:"calc_uvp" in
+  define b calc (fun pb ->
+      while_loop pb ~trips:22
+        ~body:(fun pb ->
+          do_while pb ~trips:256 ~body:(fun pb -> basic pb ~insns:14 ())));
+  define b main (fun pb ->
+      driver pb ~trips:38
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:6 ()); (fun pb -> call pb ~insns:3 calc) ]));
+  build b
+
+(* TOMCATV: mesh generation — two sequential grid sweeps and a residual
+   test under an outer convergence loop; boundary handling follows a
+   regular repeating pattern. *)
+let tomcatv () =
+  let b = create ~name:"tomcatv" ~seed:0x70CA in
+  let main = declare b ~name:"main" in
+  let sweep1 = declare b ~name:"sweep_xy" in
+  let sweep2 = declare b ~name:"sweep_residual" in
+  define b sweep1 (fun pb ->
+      while_loop pb ~trips:50
+        ~body:(fun pb ->
+          do_while pb ~trips:50
+            ~body:(fun pb ->
+              seq pb
+                [
+                  (fun pb -> basic pb ~insns:20 ());
+                  (fun pb ->
+                    if_then pb
+                      ~behavior:
+                        (Behavior.Pattern
+                           [| true; false; false; false; false; false; false; false |])
+                      ~p_true:0.125
+                      ~then_:(fun pb -> basic pb ~insns:5 ()));
+                ])));
+  define b sweep2 (fun pb ->
+      do_while pb ~trips:50
+        ~body:(fun pb ->
+          do_while pb ~trips:50 ~body:(fun pb -> basic pb ~insns:8 ())));
+  define b main (fun pb ->
+      driver pb ~trips:26
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 sweep1);
+              (fun pb -> call pb ~insns:3 sweep2);
+            ]));
+  build b
+
+(* WAVE5: plasma particle-in-cell — alternating particle pushes (with a
+   50/50 scatter direction branch) and field solves with large blocks. *)
+let wave5 () =
+  let b = create ~name:"wave5" ~seed:0x3A5E in
+  let main = declare b ~name:"main" in
+  let push = declare b ~name:"particle_push" in
+  let field = declare b ~name:"field_solve" in
+  define b push (fun pb ->
+      (* A top-tested particle loop (as era C compilers emitted `for`):
+         header conditional plus a backward jump every iteration -- prime
+         material for the Figure 3 rotation. *)
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:4 ());
+          (fun pb ->
+            while_loop pb ~trips:900
+              ~body:(fun pb ->
+                seq pb
+                  [
+                    (fun pb -> basic pb ~insns:12 ());
+                    (fun pb ->
+                      if_else pb ~p_true:0.5
+                        ~then_:(fun pb -> basic pb ~insns:9 ())
+                        ~else_:(fun pb -> basic pb ~insns:9 ()));
+                  ]));
+        ]);
+  define b field (fun pb ->
+      do_while pb ~trips:300 ~body:(fun pb -> basic pb ~insns:23 ()));
+  define b main (fun pb ->
+      driver pb ~trips:95
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 push);
+              (fun pb -> call pb ~insns:3 field);
+            ]));
+  build b
+
+let all =
+  [
+    ("alvinn", alvinn, "back-propagation net; one hot self-loop block per layer (Figure 2)");
+    ("doduc", doduc, "Monte-Carlo reactor; three sites dominate, biased search loops");
+    ("ear", ear, "inner-ear model; cascaded filter loops of moderate body size");
+    ("fpppp", fpppp, "electron integrals; enormous straight-line basic blocks");
+    ("hydro2d", hydro2d, "Navier-Stokes grid sweeps with rare boundary tests");
+    ("mdljsp2", mdljsp2, "molecular dynamics; frequently not-taken cutoff test");
+    ("nasa7", nasa7, "seven numeric kernels of differing loop shapes");
+    ("ora", ora, "ray tracing; near-certain loop continuation, huge blocks");
+    ("spice", spice, "sparse circuit simulation; clustered-run Markov branch");
+    ("su2cor", su2cor, "lattice QCD; deep short loop nests, loop-branch dense");
+    ("swm256", swm256, "shallow water; 256-long inner loops, highest taken rate");
+    ("tomcatv", tomcatv, "mesh generation; sweeps plus patterned boundary branch");
+    ("wave5", wave5, "particle-in-cell; 50/50 scatter branch plus field loops");
+  ]

@@ -1,0 +1,5 @@
+(** The thirteen SPECfp92 workload stand-ins (see the implementation for
+    per-program notes on the control-flow signature each one imitates). *)
+
+val all : (string * (unit -> Ba_ir.Program.t) * string) list
+(** [(name, builder, description)] triples in the paper's Table 2 order. *)

@@ -1,0 +1,315 @@
+(* The six SPECint92 stand-ins.
+
+   Signature imitated (paper Table 2): roughly 16% of instructions break
+   control flow, conditional branches are data dependent with mixed biases
+   (taken rates near 50-70%), branch sites are spread over many procedures
+   (gcc's Q-90 runs to hundreds of sites), blocks are small, and call/return
+   traffic is significant.  Several branches correlate with recent global
+   outcomes, which is what separates the gshare PHT from the direct-mapped
+   one in Table 4. *)
+
+open Ba_ir
+open Builder
+
+(* COMPRESS: LZW compression — one hot loop whose hash-hit branch comes in
+   runs (compressible input), with a rare table-reset path. *)
+let compress () =
+  let b = create ~name:"compress" ~seed:0xC033 in
+  let main = declare b ~name:"main" in
+  let output_code = declare b ~name:"output_code" in
+  define b output_code (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:7 ());
+          (fun pb -> if_then pb ~p_true:0.3 ~then_:(fun pb -> basic pb ~insns:5 ()));
+        ]);
+  define b main (fun pb ->
+      driver pb ~trips:80_000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:5 ());
+              (fun pb ->
+                if_else pb
+                  ~behavior:
+                    (Behavior.Markov { p_stay_true = 0.82; p_stay_false = 0.55; init = true })
+                  ~p_true:0.7
+                  ~then_:(fun pb -> basic pb ~insns:4 ()) (* hash hit: extend string *)
+                  ~else_:(fun pb -> call pb ~insns:3 output_code));
+              (fun pb ->
+                if_then pb ~p_true:0.002 ~then_:(fun pb -> basic pb ~insns:20 ()));
+            ]));
+  build b
+
+(* EQNTOTT: truth-table generation — execution concentrates in a comparison
+   routine called from a sort; its two hot branches are heavily biased, and
+   consecutive comparisons correlate. *)
+let eqntott () =
+  let b = create ~name:"eqntott" ~seed:0xE060 in
+  let main = declare b ~name:"main" in
+  let cmppt = declare b ~name:"cmppt" in
+  define b cmppt (fun pb ->
+      do_while pb ~latch_insns:2 ~behavior:(Behavior.Bias 0.88) ~trips:8
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:3 ());
+              (fun pb ->
+                if_else pb
+                  ~behavior:
+                    (Behavior.Correlated
+                       { bits = 2; table = [| true; true; false; true |]; noise = 0.05 })
+                  ~p_true:0.75
+                  ~then_:(fun pb -> basic pb ~insns:2 ())
+                  ~else_:(fun pb -> basic pb ~insns:4 ()));
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:25_000
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:4 ());
+              (fun pb -> call pb ~insns:2 cmppt);
+              (fun pb ->
+                if_then pb ~p_true:0.45 ~then_:(fun pb -> basic pb ~insns:5 ()));
+            ]));
+  build b
+
+(* ESPRESSO: two-level logic minimisation — loops over cube lists in
+   several procedures with varied biases; includes an elim_lowering-like
+   routine with the multi-way shape of the paper's Figure 1. *)
+let espresso () =
+  let b = create ~name:"espresso" ~seed:0xE590 in
+  let main = declare b ~name:"main" in
+  let elim_lowering = declare b ~name:"elim_lowering" in
+  let cofactor = declare b ~name:"cofactor" in
+  let sharp = declare b ~name:"sharp" in
+  define b elim_lowering (fun pb ->
+      (* Loop over cube pairs; an unbalanced inner decision tree. *)
+      while_loop pb ~trips:60
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb ->
+                if_else pb ~p_true:0.35
+                  ~then_:(fun pb -> basic pb ~insns:5 ())
+                  ~else_:(fun pb ->
+                    if_else pb ~p_true:0.6
+                      ~then_:(fun pb -> basic pb ~insns:7 ())
+                      ~else_:(fun pb -> basic pb ~insns:4 ())));
+              (fun pb ->
+                if_then pb ~p_true:0.2 ~then_:(fun pb -> basic pb ~insns:8 ()));
+            ]));
+  define b cofactor (fun pb ->
+      do_while pb ~trips:25
+        ~body:(fun pb ->
+          if_else pb ~p_true:0.55
+            ~then_:(fun pb -> basic pb ~insns:6 ())
+            ~else_:(fun pb -> basic pb ~insns:3 ())));
+  define b sharp (fun pb ->
+      while_loop pb ~trips:18
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> basic pb ~insns:4 ());
+              (fun pb ->
+                if_then pb ~p_true:0.15 ~then_:(fun pb -> call pb ~insns:2 cofactor));
+            ]));
+  define b main (fun pb ->
+      driver pb ~trips:900
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 elim_lowering);
+              (fun pb -> call pb ~insns:3 sharp);
+              (fun pb ->
+                if_then pb ~p_true:0.5 ~then_:(fun pb -> call pb ~insns:2 cofactor));
+            ]));
+  build b
+
+(* GCC: the compiler — the suite's flattest branch profile: many
+   procedures, a yyparse-like dispatch over dozens of cases, shallow biases
+   everywhere, heavy call/return traffic. *)
+let gcc () =
+  let b = create ~name:"gcc" ~seed:0x6CC0 in
+  let main = declare b ~name:"main" in
+  let yyparse = declare b ~name:"yyparse" in
+  let fold_rtx = declare b ~name:"fold_rtx" in
+  let combine = declare b ~name:"combine" in
+  let regalloc = declare b ~name:"reg_alloc" in
+  let sched = declare b ~name:"schedule" in
+  let emit = declare b ~name:"emit_insn" in
+  (* A branchy helper with a different bias per call site region.  Each
+     tree also carries a rarely-taken error path with a large handler block
+     -- the cold code that pollutes gcc's instruction-cache lines until
+     alignment pushes it out of the hot path. *)
+  let decision_tree pb biases =
+    seq pb
+      (List.map
+         (fun p (pb : pb) ->
+           if_else pb ~p_true:p
+             ~then_:(fun pb -> basic pb ~insns:3 ())
+             ~else_:(fun pb -> basic pb ~insns:4 ()))
+         biases
+      @ [
+          (fun pb ->
+            if_then pb ~p_true:0.002
+              ~then_:(fun pb -> basic pb ~insns:45 ()) (* error handler *));
+        ])
+  in
+  define b yyparse (fun pb ->
+      while_loop pb ~trips:40
+        ~body:(fun pb ->
+          switch pb ~insns:3
+            ~cases:
+              [
+                (0.22, fun pb -> decision_tree pb [ 0.45; 0.6 ]);
+                (0.18, fun pb -> basic pb ~insns:6 ());
+                (0.15, fun pb -> decision_tree pb [ 0.52 ]);
+                (0.13, fun pb -> basic pb ~insns:4 ());
+                (0.1, fun pb -> decision_tree pb [ 0.38; 0.7; 0.5 ]);
+                (0.08, fun pb -> basic pb ~insns:8 ());
+                (0.07, fun pb -> decision_tree pb [ 0.65 ]);
+                (0.07, fun pb -> basic pb ~insns:5 ());
+              ]));
+  define b fold_rtx (fun pb ->
+      seq pb
+        [
+          (fun pb -> decision_tree pb [ 0.55; 0.42; 0.6; 0.35 ]);
+          (fun pb ->
+            if_then pb ~p_true:0.25 ~then_:(fun pb -> basic pb ~insns:9 ()));
+        ]);
+  define b combine (fun pb ->
+      while_loop pb ~trips:14
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:2 fold_rtx);
+              (fun pb -> decision_tree pb [ 0.5; 0.62 ]);
+            ]));
+  define b regalloc (fun pb ->
+      while_loop pb ~trips:20
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> decision_tree pb [ 0.7; 0.44 ]);
+              (fun pb ->
+                if_then pb ~p_true:0.3 ~then_:(fun pb -> basic pb ~insns:6 ()));
+            ]));
+  define b sched (fun pb ->
+      do_while pb ~trips:12
+        ~body:(fun pb -> decision_tree pb [ 0.58; 0.49; 0.53 ]));
+  define b emit (fun pb -> decision_tree pb [ 0.6; 0.5 ]);
+  define b main (fun pb ->
+      driver pb ~trips:600
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb -> call pb ~insns:3 yyparse);
+              (fun pb -> call pb ~insns:3 combine);
+              (fun pb -> call pb ~insns:3 regalloc);
+              (fun pb -> call pb ~insns:3 sched);
+              (fun pb -> call pb ~insns:2 emit);
+            ]));
+  build b
+
+(* LI: a Lisp interpreter — a recursive eval with a type dispatch, cons
+   traversal loops and dense call/return traffic (the return stack matters
+   here). *)
+let li () =
+  let b = create ~name:"li" ~seed:0x0113 in
+  let main = declare b ~name:"main" in
+  let eval = declare b ~name:"xleval" in
+  let apply = declare b ~name:"xlapply" in
+  let gc = declare b ~name:"gc_mark" in
+  define b eval (fun pb ->
+      switch pb ~insns:4
+        ~cases:
+          [
+            (0.4, fun pb -> basic pb ~insns:3 ()) (* self-evaluating *);
+            (0.3, fun pb ->
+              seq pb
+                [
+                  (fun pb -> basic pb ~insns:4 ());
+                  (fun pb ->
+                    if_then pb ~p_true:0.55 ~then_:(fun pb -> call pb ~insns:2 apply));
+                ]);
+            (0.2, fun pb ->
+              do_while pb ~behavior:(Behavior.Bias 0.6) ~trips:3
+                ~body:(fun pb -> basic pb ~insns:5 ()) (* arg list walk *));
+            (0.1, fun pb -> basic pb ~insns:7 ());
+          ]);
+  define b apply (fun pb ->
+      seq pb
+        [
+          (fun pb -> basic pb ~insns:5 ());
+          (* Bounded recursion back into eval. *)
+          (fun pb ->
+            if_then pb ~p_true:0.4 ~then_:(fun pb -> call pb ~insns:2 eval));
+          (fun pb ->
+            if_then pb ~p_true:0.02 ~then_:(fun pb -> call pb ~insns:2 gc));
+        ]);
+  define b gc (fun pb ->
+      do_while pb ~behavior:(Behavior.Bias 0.9) ~trips:40
+        ~body:(fun pb ->
+          if_else pb ~p_true:0.5
+            ~then_:(fun pb -> basic pb ~insns:4 ())
+            ~else_:(fun pb -> basic pb ~insns:3 ())));
+  define b main (fun pb ->
+      driver pb ~trips:45_000
+        ~body:(fun pb ->
+          seq pb [ (fun pb -> basic pb ~insns:3 ()); (fun pb -> call pb ~insns:2 eval) ]));
+  build b
+
+(* SC: a spreadsheet — recalculation sweeps where each cell's operation
+   repeats the type test of its neighbours (strong global correlation),
+   plus an operator dispatch. *)
+let sc () =
+  let b = create ~name:"sc" ~seed:0x05C5 in
+  let main = declare b ~name:"main" in
+  let recalc = declare b ~name:"recalc_cell" in
+  let update = declare b ~name:"update_display" in
+  define b recalc (fun pb ->
+      seq pb
+        [
+          (fun pb ->
+            if_else pb
+              ~behavior:
+                (Behavior.Correlated
+                   { bits = 1; table = [| false; true |]; noise = 0.03 })
+              ~p_true:0.5
+              ~then_:(fun pb -> basic pb ~insns:4 ())
+              ~else_:(fun pb -> basic pb ~insns:3 ()));
+          (fun pb ->
+            switch pb ~insns:3
+              ~cases:
+                [
+                  (0.45, fun pb -> basic pb ~insns:4 ());
+                  (0.3, fun pb -> basic pb ~insns:6 ());
+                  (0.25, fun pb -> basic pb ~insns:5 ());
+                ]);
+        ]);
+  define b update (fun pb ->
+      do_while pb ~trips:30
+        ~body:(fun pb ->
+          if_then pb ~p_true:0.2 ~then_:(fun pb -> basic pb ~insns:6 ())));
+  define b main (fun pb ->
+      driver pb ~trips:1500
+        ~body:(fun pb ->
+          seq pb
+            [
+              (fun pb ->
+                do_while pb ~trips:24 ~body:(fun pb -> call pb ~insns:2 recalc));
+              (fun pb -> call pb ~insns:2 update);
+            ]));
+  build b
+
+let all =
+  [
+    ("compress", compress, "LZW; clustered hash-hit branch, rare reset path");
+    ("eqntott", eqntott, "truth tables; hot biased comparator with correlation");
+    ("espresso", espresso, "logic minimisation; varied-bias cube loops (Figure 1)");
+    ("gcc", gcc, "compiler; many procedures, yyparse dispatch, flat biases");
+    ("li", li, "Lisp interpreter; recursive eval, type dispatch, call-heavy");
+    ("sc", sc, "spreadsheet; correlated type tests plus operator dispatch");
+  ]

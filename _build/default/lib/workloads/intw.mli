@@ -1,0 +1,4 @@
+(** The six SPECint92 workload stand-ins. *)
+
+val all : (string * (unit -> Ba_ir.Program.t) * string) list
+(** [(name, builder, description)] triples in the paper's Table 2 order. *)

@@ -1,0 +1,1 @@
+test/gen_prog.ml: Array Ba_ir Ba_layout Ba_util Behavior Block Fmt Printf Proc Program QCheck Term

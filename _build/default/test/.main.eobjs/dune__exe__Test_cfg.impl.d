@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Ba_cfg Ba_ir Behavior Block Edge Gen_prog Graph List Proc Profile Program QCheck QCheck_alcotest Result String Term Test

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ba_ir Ba_util Behavior Block Fmt Fun List Proc Program QCheck QCheck_alcotest Result Term Test

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Ba_core Ba_exec Ba_ir Ba_isa Ba_layout Ba_sim Behavior Block Codegen Disasm Hashtbl Insn List Pairing Proc Program String Term

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Ba_cfg Ba_ir Ba_layout Behavior Block Chain Chain_order Decision Gen_prog Image Linear List Lower Proc Program QCheck QCheck_alcotest Result Term Test

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ba_exec Ba_layout Ba_report Ba_util Ba_workloads Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_table Ba_util Fun Gen Hashtbl List QCheck QCheck_alcotest Rng Stats String Test

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ba_exec Ba_ir Ba_layout Ba_util Ba_workloads Block Builder List Option Printf Proc Program Result Spec Term

@@ -1,0 +1,109 @@
+(* QCheck generators for random (but always valid) programs, layouts and
+   related data, shared by the layout/exec/align test modules.
+
+   Construction keeps every block reachable by always including block [i+1]
+   among block [i]'s successors; diversity comes from the second conditional
+   target, switch fan-out, and call structure. *)
+
+open Ba_ir
+
+let behavior_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun b -> Behavior.Always b) bool;
+      map (fun p -> Behavior.Bias p) (float_bound_inclusive 1.0);
+      map (fun n -> Behavior.Loop n) (int_range 1 32);
+      map (fun l -> Behavior.Pattern (Array.of_list l)) (list_size (int_range 1 8) bool);
+      map2
+        (fun p q -> Behavior.Markov { p_stay_true = p; p_stay_false = q; init = false })
+        (float_bound_inclusive 1.0) (float_bound_inclusive 1.0);
+    ]
+
+(* A procedure with [n] blocks; [is_main] picks Halt vs Ret for the final
+   block; [n_procs] bounds callee ids (procedures only call higher ids, so
+   the random call graph cannot recurse unboundedly by accident). *)
+let proc_gen ~self ~n_procs ~is_main n =
+  let open QCheck.Gen in
+  let block_gen i st =
+    let insns = int_range 1 10 st in
+    let other ~not_ =
+      (* A random block distinct from [not_]. *)
+      let rec draw () =
+        let b = int_range 0 (n - 1) st in
+        if b = not_ then draw () else b
+      in
+      draw ()
+    in
+    let term =
+      if i = n - 1 then if is_main then Term.Halt else Term.Ret
+      else
+        match int_range 0 9 st with
+        | 0 | 1 -> Term.Jump (i + 1)
+        | 2 | 3 | 4 | 5 ->
+          let on_false = other ~not_:(i + 1) in
+          let behavior = behavior_gen st in
+          if bool st then Term.Cond { on_true = i + 1; on_false; behavior }
+          else Term.Cond { on_true = on_false; on_false = i + 1; behavior }
+        | 6 ->
+          let extra = int_range 0 2 st in
+          let targets =
+            Array.init (extra + 1) (fun k ->
+                ((if k = 0 then i + 1 else int_range 0 (n - 1) st), 1.0 +. float_bound_inclusive 3.0 st))
+          in
+          Term.Switch { targets }
+        | 7 when self + 1 < n_procs ->
+          Term.Call { callee = int_range (self + 1) (n_procs - 1) st; next = i + 1 }
+        | 8 when self + 2 < n_procs ->
+          let c1 = int_range (self + 1) (n_procs - 1) st in
+          let c2 = int_range (self + 1) (n_procs - 1) st in
+          Term.Vcall { callees = [| (c1, 2.0); (c2, 1.0) |]; next = i + 1 }
+        | _ -> Term.Jump (i + 1)
+    in
+    Block.make ~insns term
+  in
+  fun st ->
+    let blocks = Array.init n (fun i -> block_gen i st) in
+    Proc.make ~name:(Printf.sprintf "p%d" self) blocks
+
+let program_gen =
+  let open QCheck.Gen in
+  fun st ->
+    let n_procs = int_range 1 4 st in
+    let seed = int_range 0 1_000_000 st in
+    let procs =
+      Array.init n_procs (fun self ->
+          let n = int_range 2 12 st in
+          proc_gen ~self ~n_procs ~is_main:(self = 0) n st)
+    in
+    Program.make ~name:"random" ~seed procs
+
+let program_arb =
+  QCheck.make
+    ~print:(fun p ->
+      Fmt.str "@[<v>%a@]"
+        (Fmt.array (fun ppf proc -> Fmt.pf ppf "%a" Proc.pp proc))
+        p.Program.procs)
+    program_gen
+
+(* A random layout decision for each procedure: a permutation with the entry
+   block kept first. *)
+let decisions_gen program st =
+  Array.map
+    (fun proc ->
+      let n = Proc.n_blocks proc in
+      let rest = Array.init (n - 1) (fun i -> i + 1) in
+      let rng = Ba_util.Rng.create (QCheck.Gen.int_range 0 1_000_000 st) in
+      Ba_util.Rng.shuffle rng rest;
+      Ba_layout.Decision.of_order (Array.append [| 0 |] rest))
+    program.Program.procs
+
+let program_with_decisions_arb =
+  QCheck.make
+    ~print:(fun (p, ds) ->
+      Fmt.str "%d procs; decisions: %a" (Program.n_procs p)
+        (Fmt.array Ba_layout.Decision.pp)
+        ds)
+    QCheck.Gen.(
+      program_gen >>= fun p ->
+      fun st -> (p, decisions_gen p st))

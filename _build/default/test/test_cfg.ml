@@ -1,0 +1,214 @@
+(* Tests for Ba_cfg: edges, profiles, graph utilities. *)
+
+open Ba_ir
+open Ba_cfg
+
+let cond ?(behavior = Behavior.Bias 0.5) t f =
+  Term.Cond { on_true = t; on_false = f; behavior }
+
+(* Diamond with a loop:
+   b0 -cond-> b1/b2; b1 -jump-> b3; b2 -jump-> b3; b3 -cond-> b0 (back) / b4; b4 ret *)
+let diamond () =
+  Proc.make ~name:"diamond"
+    [|
+      Block.make (cond 1 2);
+      Block.make (Term.Jump 3);
+      Block.make (Term.Jump 3);
+      Block.make (cond 0 4);
+      Block.make Term.Ret;
+    |]
+
+let test_edges_of_proc () =
+  let edges = Edge.of_proc (diamond ()) in
+  Alcotest.(check int) "edge count" 6 (List.length edges);
+  let alignable = List.filter Edge.is_alignable edges in
+  Alcotest.(check int) "all alignable" 6 (List.length alignable)
+
+let test_edges_switch_not_alignable () =
+  let p =
+    Proc.make ~name:"sw"
+      [|
+        Block.make (Term.Switch { targets = [| (1, 1.0); (1, 2.0) |] });
+        Block.make Term.Ret;
+      |]
+  in
+  let edges = Edge.of_proc p in
+  Alcotest.(check int) "two case edges" 2 (List.length edges);
+  Alcotest.(check bool) "none alignable" true
+    (List.for_all (fun e -> not (Edge.is_alignable e)) edges)
+
+let test_profile_recording () =
+  let p = diamond () in
+  let prog = Program.make ~name:"t" [| Proc.make ~name:"main" [| Block.make Term.Halt |]; p |] in
+  let prof = Profile.create prog in
+  Profile.record_visit prof 1 0;
+  Profile.record_visit prof 1 0;
+  Profile.record_cond prof 1 0 true;
+  Profile.record_cond prof 1 0 false;
+  Profile.record_cond prof 1 0 true;
+  Alcotest.(check int) "visits" 2 (Profile.visits prof 1 0);
+  Alcotest.(check (pair int int)) "cond counts" (2, 1) (Profile.cond_counts prof 1 0);
+  Alcotest.(check bool) "likely taken" true (Profile.likely_taken prof 1 0)
+
+let test_profile_edge_weight () =
+  let p = diamond () in
+  let prog = Program.make ~name:"t" [| p |] in
+  let prof = Profile.create prog in
+  Profile.record_cond prof 0 0 true;
+  Profile.record_cond prof 0 0 true;
+  Profile.record_cond prof 0 0 false;
+  Profile.record_visit prof 0 1;
+  let w_true = Profile.edge_weight prof 0 { Edge.src = 0; dst = 1; kind = Edge.On_true } in
+  let w_false = Profile.edge_weight prof 0 { Edge.src = 0; dst = 2; kind = Edge.On_false } in
+  let w_flow = Profile.edge_weight prof 0 { Edge.src = 1; dst = 3; kind = Edge.Flow } in
+  Alcotest.(check int) "on_true weight" 2 w_true;
+  Alcotest.(check int) "on_false weight" 1 w_false;
+  Alcotest.(check int) "flow weight" 1 w_flow
+
+let test_profile_cond_counts_non_cond () =
+  let p = diamond () in
+  let prog = Program.make ~name:"t" [| p |] in
+  let prof = Profile.create prog in
+  Alcotest.check_raises "not a conditional"
+    (Invalid_argument "Profile.cond_counts: not a conditional block") (fun () ->
+      ignore (Profile.cond_counts prof 0 1))
+
+let test_profile_merge () =
+  let p = diamond () in
+  let prog = Program.make ~name:"t" [| p |] in
+  let mk f =
+    let prof = Profile.create prog in
+    f prof;
+    prof
+  in
+  let p1 =
+    mk (fun prof ->
+        Profile.record_visit prof 0 0;
+        Profile.record_cond prof 0 0 true)
+  in
+  let p2 =
+    mk (fun prof ->
+        Profile.record_visit prof 0 0;
+        Profile.record_visit prof 0 0;
+        Profile.record_cond prof 0 0 false)
+  in
+  let merged = Profile.merge [ p1; p2 ] in
+  Alcotest.(check int) "visits summed" 3 (Profile.visits merged 0 0);
+  Alcotest.(check (pair int int)) "cond counts summed" (1, 1)
+    (Profile.cond_counts merged 0 0);
+  (* Inputs untouched. *)
+  Alcotest.(check int) "p1 unchanged" 1 (Profile.visits p1 0 0)
+
+let test_profile_merge_rejects () =
+  let prog1 = Program.make ~name:"a" [| diamond () |] in
+  let prog2 = Program.make ~name:"b" [| diamond () |] in
+  Alcotest.check_raises "empty" (Invalid_argument "Profile.merge: empty list") (fun () ->
+      ignore (Profile.merge []));
+  Alcotest.check_raises "different programs"
+    (Invalid_argument "Profile.merge: profiles of different programs") (fun () ->
+      ignore (Profile.merge [ Profile.create prog1; Profile.create prog2 ]))
+
+let test_program_with_seed () =
+  let prog = Program.make ~name:"t" ~seed:5 [| diamond () |] in
+  let other = Ba_ir.Program.with_seed prog 9 in
+  Alcotest.(check int) "new seed" 9 other.Program.seed;
+  Alcotest.(check int) "original unchanged" 5 prog.Program.seed;
+  Alcotest.(check bool) "same structure" true (prog.Program.procs == other.Program.procs)
+
+let test_alignable_edges_sorted () =
+  let p = diamond () in
+  let prog = Program.make ~name:"t" [| p |] in
+  let prof = Profile.create prog in
+  Profile.record_cond prof 0 0 true;
+  (* weight 1 on b0->b1 *)
+  for _ = 1 to 5 do
+    Profile.record_visit prof 0 2
+  done;
+  (* weight 5 on b2->b3 *)
+  let edges = Profile.alignable_edges prof 0 in
+  (match edges with
+  | (first, w) :: _ ->
+    Alcotest.(check int) "heaviest first" 5 w;
+    Alcotest.(check int) "src" 2 first.Edge.src
+  | [] -> Alcotest.fail "no edges");
+  let weights = List.map snd edges in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) weights) weights
+
+let test_dfs_preorder () =
+  let order = Graph.dfs_preorder (diamond ()) in
+  Alcotest.(check int) "starts at entry" 0 order.(0);
+  Alcotest.(check int) "visits all" 5 (Array.length order)
+
+let test_back_edges () =
+  let bes = Graph.back_edges (diamond ()) in
+  Alcotest.(check (list (pair int int))) "loop back edge" [ (3, 0) ] bes
+
+let test_back_edges_self_loop () =
+  let p =
+    Proc.make ~name:"self"
+      [| Block.make (cond 0 1); Block.make Term.Ret |]
+  in
+  Alcotest.(check (list (pair int int))) "self loop" [ (0, 0) ] (Graph.back_edges p)
+
+let test_loop_depth () =
+  let d = Graph.loop_depth (diamond ()) in
+  Alcotest.(check int) "header in loop" 1 d.(0);
+  Alcotest.(check int) "body in loop" 1 d.(1);
+  Alcotest.(check int) "tail in loop" 1 d.(3);
+  Alcotest.(check int) "exit outside" 0 d.(4)
+
+let test_dot_output () =
+  let s = Graph.dot (diamond ()) in
+  Alcotest.(check bool) "digraph" true (String.length s > 0 && String.sub s 0 7 = "digraph")
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"generated programs validate" ~count:200 Gen_prog.program_arb
+      (fun p -> Result.is_ok (Ba_ir.Program.validate p));
+    Test.make ~name:"dfs reaches every block" ~count:200 Gen_prog.program_arb (fun p ->
+        Array.for_all
+          (fun proc ->
+            Array.length (Graph.dfs_preorder proc) = Ba_ir.Proc.n_blocks proc)
+          p.Program.procs);
+    Test.make ~name:"alignable edges have out-degree <= 2 sources" ~count:200
+      Gen_prog.program_arb (fun p ->
+        Array.for_all
+          (fun proc ->
+            List.for_all
+              (fun e ->
+                Edge.is_alignable e = false
+                || List.length
+                     (Term.successors (Proc.block proc e.Edge.src).Block.term)
+                   <= 2)
+              (Edge.of_proc proc))
+          p.Program.procs);
+  ]
+
+let suites =
+  [
+    ( "cfg.edge",
+      [
+        Alcotest.test_case "of_proc" `Quick test_edges_of_proc;
+        Alcotest.test_case "switch not alignable" `Quick test_edges_switch_not_alignable;
+      ] );
+    ( "cfg.profile",
+      [
+        Alcotest.test_case "recording" `Quick test_profile_recording;
+        Alcotest.test_case "edge weight" `Quick test_profile_edge_weight;
+        Alcotest.test_case "cond_counts non-cond" `Quick test_profile_cond_counts_non_cond;
+        Alcotest.test_case "alignable sorted" `Quick test_alignable_edges_sorted;
+        Alcotest.test_case "merge" `Quick test_profile_merge;
+        Alcotest.test_case "merge rejects" `Quick test_profile_merge_rejects;
+        Alcotest.test_case "with_seed" `Quick test_program_with_seed;
+      ] );
+    ( "cfg.graph",
+      [
+        Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+        Alcotest.test_case "back edges" `Quick test_back_edges;
+        Alcotest.test_case "self loop" `Quick test_back_edges_self_loop;
+        Alcotest.test_case "loop depth" `Quick test_loop_depth;
+        Alcotest.test_case "dot" `Quick test_dot_output;
+      ] );
+    ("cfg.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]

@@ -1,0 +1,428 @@
+(* Tests for Ba_predict: counters, static rules, PHTs, BTB, return stack,
+   Alpha history bits, likely bits. *)
+
+open Ba_predict
+
+(* -- Counter2 ---------------------------------------------------------- *)
+
+let test_counter_saturation () =
+  let c = ref Counter2.initial in
+  for _ = 1 to 10 do
+    c := Counter2.update !c ~taken:true
+  done;
+  Alcotest.(check bool) "predicts taken" true (Counter2.predict !c);
+  Alcotest.(check int) "saturates at 3" 3 (!c :> int);
+  for _ = 1 to 10 do
+    c := Counter2.update !c ~taken:false
+  done;
+  Alcotest.(check bool) "predicts not-taken" false (Counter2.predict !c);
+  Alcotest.(check int) "saturates at 0" 0 (!c :> int)
+
+let test_counter_hysteresis () =
+  (* From strongly taken, a single not-taken must not flip the prediction. *)
+  let c = Counter2.update Counter2.strongly_taken ~taken:false in
+  Alcotest.(check bool) "still predicts taken" true (Counter2.predict c)
+
+let test_counter_initial_not_taken () =
+  Alcotest.(check bool) "cold counter predicts fall-through" false
+    (Counter2.predict Counter2.initial)
+
+(* -- Static_rule --------------------------------------------------------- *)
+
+let test_static_rules () =
+  let p rule ~pc ~tt = Static_rule.predict_taken rule ~pc ~taken_target:tt in
+  Alcotest.(check bool) "fallthrough never taken" false
+    (p Static_rule.Fallthrough ~pc:100 ~tt:50);
+  Alcotest.(check bool) "btfnt backward taken" true (p Static_rule.Btfnt ~pc:100 ~tt:50);
+  Alcotest.(check bool) "btfnt forward not taken" false (p Static_rule.Btfnt ~pc:100 ~tt:150);
+  Alcotest.(check bool) "btfnt self counts backward" true (p Static_rule.Btfnt ~pc:100 ~tt:100);
+  let likely = Static_rule.Likely (fun pc -> pc = 42) in
+  Alcotest.(check bool) "likely hint true" true (p likely ~pc:42 ~tt:0);
+  Alcotest.(check bool) "likely hint false" false (p likely ~pc:43 ~tt:0)
+
+(* -- Pht ------------------------------------------------------------------ *)
+
+let test_pht_learns_bias () =
+  let pht = Pht.create_direct ~entries:16 in
+  for _ = 1 to 4 do
+    Pht.update pht ~pc:5 ~taken:true
+  done;
+  Alcotest.(check bool) "learned taken" true (Pht.predict pht ~pc:5);
+  Alcotest.(check bool) "other entry unaffected" false (Pht.predict pht ~pc:6)
+
+let test_pht_aliasing () =
+  (* pc 5 and pc 21 collide in a 16-entry direct-mapped table. *)
+  let pht = Pht.create_direct ~entries:16 in
+  for _ = 1 to 4 do
+    Pht.update pht ~pc:5 ~taken:true
+  done;
+  Alcotest.(check bool) "aliased entry shares state" true (Pht.predict pht ~pc:21)
+
+let test_pht_rejects_bad_sizes () =
+  Alcotest.(check bool) "non power of two raises" true
+    (try
+       ignore (Pht.create_direct ~entries:12);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gshare_learns_alternation () =
+  (* A strictly alternating branch defeats a per-address 2-bit counter but
+     is perfectly predictable from 1 bit of global history. *)
+  let run pht =
+    let correct = ref 0 in
+    let n = 1000 in
+    for i = 1 to n do
+      let taken = i mod 2 = 0 in
+      if Pht.predict pht ~pc:77 = taken then incr correct;
+      Pht.update pht ~pc:77 ~taken
+    done;
+    float_of_int !correct /. 1000.0
+  in
+  let gshare_acc = run (Pht.create_gshare ~entries:256 ~history_bits:8) in
+  let direct_acc = run (Pht.create_direct ~entries:256) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gshare (%.2f) beats direct (%.2f) on alternation" gshare_acc direct_acc)
+    true
+    (gshare_acc > 0.95 && direct_acc < 0.7)
+
+let test_gshare_history_masking () =
+  let pht = Pht.create_gshare ~entries:16 ~history_bits:4 in
+  (* Just exercise update/predict through enough history wrap-arounds. *)
+  for i = 0 to 100 do
+    ignore (Pht.predict pht ~pc:i);
+    Pht.update pht ~pc:i ~taken:(i mod 3 = 0)
+  done;
+  Alcotest.(check int) "entries" 16 (Pht.entries pht)
+
+(* -- Two_level --------------------------------------------------------------- *)
+
+let test_local_learns_loop_pattern () =
+  (* A branch with a fixed period-4 pattern (three taken, one not) is
+     perfectly predictable from 3+ bits of its own history, even when an
+     unrelated noisy branch interleaves with it. *)
+  let two = Two_level.create_local ~history_bits:4 ~branch_entries:64 () in
+  let noise = Ba_util.Rng.create 7 in
+  let correct = ref 0 in
+  let n = 2000 in
+  for i = 1 to n do
+    let taken = i mod 4 <> 0 in
+    if Two_level.predict two ~pc:5 = taken then incr correct;
+    Two_level.update two ~pc:5 ~taken;
+    (* Interleaved random branch at another address. *)
+    Two_level.update two ~pc:9 ~taken:(Ba_util.Rng.bool noise)
+  done;
+  let accuracy = float_of_int !correct /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "local accuracy %.2f on period-4 pattern" accuracy)
+    true (accuracy > 0.95)
+
+let test_global_learns_global_pattern () =
+  (* With a single branch, global history equals local history: a strict
+     alternation is learned perfectly. *)
+  let two = Two_level.create_global ~history_bits:4 () in
+  let correct = ref 0 in
+  for i = 1 to 1000 do
+    let taken = i mod 2 = 0 in
+    if Two_level.predict two ~pc:0 = taken then incr correct;
+    Two_level.update two ~pc:0 ~taken
+  done;
+  Alcotest.(check bool) "global learns alternation" true (!correct > 950)
+
+let test_global_ignores_address () =
+  (* Pan et al.'s degenerate scheme uses no branch address: two branches
+     with the same history index the same counter. *)
+  let two = Two_level.create_global ~history_bits:4 () in
+  for _ = 1 to 8 do
+    Two_level.update two ~pc:100 ~taken:true
+  done;
+  Alcotest.(check bool) "prediction shared across addresses" true
+    (Two_level.predict two ~pc:100 = Two_level.predict two ~pc:999)
+
+let test_two_level_names () =
+  Alcotest.(check string) "global" "global-2level-16"
+    (Two_level.name (Two_level.create_global ~history_bits:4 ()));
+  Alcotest.(check string) "local" "local-2level-16"
+    (Two_level.name (Two_level.create_local ~history_bits:4 ~branch_entries:8 ()))
+
+let test_two_level_validation () =
+  Alcotest.(check bool) "bad bits" true
+    (try ignore (Two_level.create_global ~history_bits:0 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad entries" true
+    (try ignore (Two_level.create_local ~branch_entries:12 ()); false
+     with Invalid_argument _ -> true)
+
+(* -- Btb ------------------------------------------------------------------- *)
+
+let test_btb_miss_then_hit () =
+  let btb = Btb.create ~entries:64 ~assoc:2 in
+  (match Btb.lookup btb ~pc:100 with
+  | Btb.Miss -> ()
+  | Btb.Hit _ -> Alcotest.fail "cold BTB should miss");
+  Btb.update btb ~pc:100 ~taken:true ~target:200;
+  match Btb.lookup btb ~pc:100 with
+  | Btb.Hit { target; predict_taken } ->
+    Alcotest.(check int) "stored target" 200 target;
+    Alcotest.(check bool) "allocated strongly taken" true predict_taken
+  | Btb.Miss -> Alcotest.fail "should hit after taken update"
+
+let test_btb_not_taken_never_allocates () =
+  let btb = Btb.create ~entries:64 ~assoc:2 in
+  Btb.update btb ~pc:100 ~taken:false ~target:200;
+  (match Btb.lookup btb ~pc:100 with
+  | Btb.Miss -> ()
+  | Btb.Hit _ -> Alcotest.fail "not-taken branches must not be stored");
+  Alcotest.(check int) "empty" 0 (Btb.occupancy btb)
+
+let test_btb_counter_training () =
+  let btb = Btb.create ~entries:64 ~assoc:2 in
+  Btb.update btb ~pc:100 ~taken:true ~target:200;
+  (* Two not-taken updates drive the 2-bit counter below the threshold. *)
+  Btb.update btb ~pc:100 ~taken:false ~target:200;
+  Btb.update btb ~pc:100 ~taken:false ~target:200;
+  match Btb.lookup btb ~pc:100 with
+  | Btb.Hit { predict_taken; _ } ->
+    Alcotest.(check bool) "counter trained down" false predict_taken
+  | Btb.Miss -> Alcotest.fail "entry should survive"
+
+let test_btb_lru_eviction () =
+  (* 2-way set: three distinct taken branches mapping to the same set evict
+     the least recently used. *)
+  let btb = Btb.create ~entries:8 ~assoc:2 in
+  (* set index = pc mod 4; pcs 4, 8, 12 share set 0. *)
+  Btb.update btb ~pc:4 ~taken:true ~target:1;
+  Btb.update btb ~pc:8 ~taken:true ~target:2;
+  Btb.update btb ~pc:4 ~taken:true ~target:1;
+  (* refresh 4 *)
+  Btb.update btb ~pc:12 ~taken:true ~target:3;
+  (* evicts 8 *)
+  (match Btb.lookup btb ~pc:8 with
+  | Btb.Miss -> ()
+  | Btb.Hit _ -> Alcotest.fail "LRU entry should be evicted");
+  match Btb.lookup btb ~pc:4 with
+  | Btb.Hit _ -> ()
+  | Btb.Miss -> Alcotest.fail "recently used entry should survive"
+
+let test_btb_target_update () =
+  let btb = Btb.create ~entries:8 ~assoc:2 in
+  Btb.update btb ~pc:4 ~taken:true ~target:1;
+  Btb.update btb ~pc:4 ~taken:true ~target:9;
+  match Btb.lookup btb ~pc:4 with
+  | Btb.Hit { target; _ } -> Alcotest.(check int) "latest target" 9 target
+  | Btb.Miss -> Alcotest.fail "should hit"
+
+let test_btb_bad_geometry () =
+  Alcotest.(check bool) "entries % assoc" true
+    (try
+       ignore (Btb.create ~entries:10 ~assoc:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Return_stack ------------------------------------------------------- *)
+
+let test_ras_lifo () =
+  let ras = Return_stack.create ~depth:4 in
+  Return_stack.push ras 1;
+  Return_stack.push ras 2;
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Return_stack.pop ras);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Return_stack.pop ras);
+  Alcotest.(check (option int)) "empty" None (Return_stack.pop ras)
+
+let test_ras_overflow_wraps () =
+  let ras = Return_stack.create ~depth:2 in
+  Return_stack.push ras 1;
+  Return_stack.push ras 2;
+  Return_stack.push ras 3;
+  (* overwrites 1 *)
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Return_stack.pop ras);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Return_stack.pop ras);
+  Alcotest.(check (option int)) "oldest lost" None (Return_stack.pop ras)
+
+(* -- Alpha_bits ------------------------------------------------------------ *)
+
+let test_alpha_bits_cold_btfnt () =
+  let bits = Alpha_bits.create () in
+  Alcotest.(check bool) "cold backward predicted taken" true
+    (Alpha_bits.predict bits ~pc:100 ~taken_target:50);
+  Alcotest.(check bool) "cold forward predicted not-taken" false
+    (Alpha_bits.predict bits ~pc:100 ~taken_target:150)
+
+let test_alpha_bits_history () =
+  let bits = Alpha_bits.create () in
+  Alpha_bits.update bits ~pc:100 ~taken:false;
+  Alcotest.(check bool) "bit overrides BT/FNT" false
+    (Alpha_bits.predict bits ~pc:100 ~taken_target:50)
+
+let test_alpha_bits_eviction_resets () =
+  let bits = Alpha_bits.create ~lines:4 ~insns_per_line:8 () in
+  Alpha_bits.update bits ~pc:0 ~taken:false;
+  (* pc 32 maps to the same line (4 lines x 8 insns = 32-instruction wrap). *)
+  Alpha_bits.update bits ~pc:32 ~taken:true;
+  Alcotest.(check bool) "evicted bit falls back to BT/FNT" true
+    (Alpha_bits.predict bits ~pc:0 ~taken_target:0)
+
+(* -- Icache ----------------------------------------------------------------- *)
+
+let test_icache_miss_then_hit () =
+  let c = Icache.create ~lines:4 ~insns_per_line:8 () in
+  Alcotest.(check int) "cold miss" 1 (Icache.touch_range c ~addr:0 ~size:4);
+  Alcotest.(check int) "now hot" 0 (Icache.touch_range c ~addr:4 ~size:4);
+  Alcotest.(check int) "misses" 1 (Icache.misses c)
+
+let test_icache_range_spans_lines () =
+  let c = Icache.create ~lines:4 ~insns_per_line:8 () in
+  (* 20 instructions starting at 4 touch lines 0, 1 and 2. *)
+  Alcotest.(check int) "three cold lines" 3 (Icache.touch_range c ~addr:4 ~size:20);
+  Alcotest.(check int) "accesses" 3 (Icache.accesses c)
+
+let test_icache_capacity_eviction () =
+  let c = Icache.create ~lines:2 ~insns_per_line:8 () in
+  ignore (Icache.touch_range c ~addr:0 ~size:1);
+  (* line 0 -> set 0 *)
+  ignore (Icache.touch_range c ~addr:16 ~size:1);
+  (* line 2 -> set 0: evicts line 0 (direct-mapped) *)
+  Alcotest.(check int) "line 0 evicted" 1 (Icache.touch_range c ~addr:0 ~size:1)
+
+let test_icache_associativity_helps () =
+  let run assoc =
+    let c = Icache.create ~lines:4 ~insns_per_line:8 ~assoc () in
+    (* Two lines aliasing to the same direct-mapped set, touched
+       alternately. *)
+    for _ = 1 to 10 do
+      ignore (Icache.touch_range c ~addr:0 ~size:1);
+      ignore (Icache.touch_range c ~addr:32 ~size:1)
+    done;
+    Icache.misses c
+  in
+  let direct = run 1 and two_way = run 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2-way (%d) beats direct (%d) on ping-pong" two_way direct)
+    true
+    (two_way = 2 && direct = 20)
+
+let test_icache_dense_beats_sparse () =
+  (* The alignment argument in miniature: the same 16 hot instructions
+     packed contiguously occupy 2 lines; spread across 8 blocks at 16-insn
+     strides they occupy 8 lines and no longer fit a 4-line cache. *)
+  let dense = Icache.create ~lines:4 ~insns_per_line:8 () in
+  let sparse = Icache.create ~lines:4 ~insns_per_line:8 () in
+  for _ = 1 to 50 do
+    ignore (Icache.touch_range dense ~addr:0 ~size:16);
+    for b = 0 to 7 do
+      ignore (Icache.touch_range sparse ~addr:(b * 16) ~size:2)
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "dense misses (%d) << sparse misses (%d)" (Icache.misses dense)
+       (Icache.misses sparse))
+    true
+    (Icache.misses dense = 2 && Icache.misses sparse > 100)
+
+(* -- Likely_bits ---------------------------------------------------------- *)
+
+let test_likely_bits () =
+  let open Ba_ir in
+  let main =
+    Proc.make ~name:"main"
+      [|
+        Block.make ~insns:1
+          (Term.Cond { on_true = 1; on_false = 2; behavior = Behavior.Loop 5 });
+        Block.make ~insns:1 (Term.Jump 0);
+        Block.make ~insns:1 Term.Halt;
+      |]
+  in
+  let prog = Program.make ~name:"likely" ~seed:1 [| main |] in
+  let profile = Ba_exec.Engine.profile_program prog in
+  let image = Ba_layout.Image.original prog in
+  let bits = Likely_bits.build image profile in
+  Alcotest.(check int) "one conditional" 1 (Likely_bits.count bits);
+  (* Original layout: on_true (the majority outcome) is the fall-through, so
+     the branch is likely NOT taken. *)
+  let pc = Ba_layout.Linear.branch_pc (Ba_layout.Image.lblock image 0 0) in
+  Alcotest.(check bool) "hint not taken" false (Likely_bits.hint bits pc);
+  (* A layout that flips the sense flips the hint. *)
+  let image2 =
+    Ba_layout.Image.build ~profile prog [| Ba_layout.Decision.of_order [| 0; 2; 1 |] |]
+  in
+  let bits2 = Likely_bits.build image2 profile in
+  let pc2 = Ba_layout.Linear.branch_pc (Ba_layout.Image.lblock image2 0 0) in
+  Alcotest.(check bool) "flipped hint taken" true (Likely_bits.hint bits2 pc2)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"counter stays in [0,3]" ~count:300 (list bool) (fun updates ->
+        let c =
+          List.fold_left (fun c taken -> Counter2.update c ~taken) Counter2.initial updates
+        in
+        (c :> int) >= 0 && (c :> int) <= 3);
+    Test.make ~name:"RAS never exceeds depth" ~count:200
+      (pair (int_range 1 8) (list small_nat))
+      (fun (depth, pushes) ->
+        let ras = Return_stack.create ~depth in
+        List.iter (Return_stack.push ras) pushes;
+        Return_stack.occupancy ras <= depth);
+    Test.make ~name:"BTB occupancy bounded by entries" ~count:100
+      (list (pair small_nat bool))
+      (fun updates ->
+        let btb = Btb.create ~entries:16 ~assoc:4 in
+        List.iter (fun (pc, taken) -> Btb.update btb ~pc ~taken ~target:(pc + 1)) updates;
+        Btb.occupancy btb <= 16);
+  ]
+
+let suites =
+  [
+    ( "predict.counter2",
+      [
+        Alcotest.test_case "saturation" `Quick test_counter_saturation;
+        Alcotest.test_case "hysteresis" `Quick test_counter_hysteresis;
+        Alcotest.test_case "initial" `Quick test_counter_initial_not_taken;
+      ] );
+    ("predict.static", [ Alcotest.test_case "rules" `Quick test_static_rules ]);
+    ( "predict.pht",
+      [
+        Alcotest.test_case "learns bias" `Quick test_pht_learns_bias;
+        Alcotest.test_case "aliasing" `Quick test_pht_aliasing;
+        Alcotest.test_case "bad sizes" `Quick test_pht_rejects_bad_sizes;
+        Alcotest.test_case "gshare alternation" `Quick test_gshare_learns_alternation;
+        Alcotest.test_case "gshare masking" `Quick test_gshare_history_masking;
+      ] );
+    ( "predict.two_level",
+      [
+        Alcotest.test_case "local learns pattern" `Quick test_local_learns_loop_pattern;
+        Alcotest.test_case "global learns pattern" `Quick test_global_learns_global_pattern;
+        Alcotest.test_case "global ignores address" `Quick test_global_ignores_address;
+        Alcotest.test_case "names" `Quick test_two_level_names;
+        Alcotest.test_case "validation" `Quick test_two_level_validation;
+      ] );
+    ( "predict.btb",
+      [
+        Alcotest.test_case "miss then hit" `Quick test_btb_miss_then_hit;
+        Alcotest.test_case "not-taken no alloc" `Quick test_btb_not_taken_never_allocates;
+        Alcotest.test_case "counter training" `Quick test_btb_counter_training;
+        Alcotest.test_case "LRU eviction" `Quick test_btb_lru_eviction;
+        Alcotest.test_case "target update" `Quick test_btb_target_update;
+        Alcotest.test_case "bad geometry" `Quick test_btb_bad_geometry;
+      ] );
+    ( "predict.return_stack",
+      [
+        Alcotest.test_case "LIFO" `Quick test_ras_lifo;
+        Alcotest.test_case "overflow wraps" `Quick test_ras_overflow_wraps;
+      ] );
+    ( "predict.alpha_bits",
+      [
+        Alcotest.test_case "cold BT/FNT" `Quick test_alpha_bits_cold_btfnt;
+        Alcotest.test_case "history bit" `Quick test_alpha_bits_history;
+        Alcotest.test_case "eviction resets" `Quick test_alpha_bits_eviction_resets;
+      ] );
+    ( "predict.icache",
+      [
+        Alcotest.test_case "miss then hit" `Quick test_icache_miss_then_hit;
+        Alcotest.test_case "range spans lines" `Quick test_icache_range_spans_lines;
+        Alcotest.test_case "capacity eviction" `Quick test_icache_capacity_eviction;
+        Alcotest.test_case "associativity" `Quick test_icache_associativity_helps;
+        Alcotest.test_case "dense beats sparse" `Quick test_icache_dense_beats_sparse;
+      ] );
+    ("predict.likely_bits", [ Alcotest.test_case "hints" `Quick test_likely_bits ]);
+    ("predict.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]

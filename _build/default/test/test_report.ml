@@ -1,0 +1,213 @@
+(* Integration tests of the experiment harness: run the full methodology at
+   reduced scale on a subset of workloads and assert the paper's headline
+   shapes (§6), plus rendering checks for the table formatters. *)
+
+let subset = [ "alvinn"; "espresso"; "gcc" ]
+
+let evals =
+  lazy
+    (Ba_report.Harness.evaluate_suite ~max_steps:40_000
+       (List.filter_map Ba_workloads.Spec.by_name subset))
+
+let mean sel = Ba_util.Stats.mean (List.map sel (Lazy.force evals))
+
+let check_le msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.3f <= %.3f)" msg a b) true (a <= b +. 1e-9)
+
+let test_alignment_ordering_fallthrough () =
+  (* Try15 <= Greedy <= Orig on average for the architecture with the most
+     headroom. *)
+  let orig = mean (fun e -> e.Ba_report.Harness.orig.Ba_report.Harness.fallthrough) in
+  let greedy = mean (fun e -> e.Ba_report.Harness.greedy.Ba_report.Harness.fallthrough) in
+  let try15 = mean (fun e -> e.Ba_report.Harness.try15.Ba_report.Harness.fallthrough) in
+  check_le "greedy <= orig" greedy orig;
+  check_le "try15 <= greedy" try15 greedy
+
+let test_alignment_helps_every_static_arch () =
+  List.iter
+    (fun (label, sel) ->
+      let orig = mean (fun e -> sel e.Ba_report.Harness.orig) in
+      let try15 = mean (fun e -> sel e.Ba_report.Harness.try15) in
+      check_le (label ^ ": try15 <= orig") try15 orig)
+    [
+      ("fallthrough", fun (c : Ba_report.Harness.arch_cpis) -> c.Ba_report.Harness.fallthrough);
+      ("btfnt", fun c -> c.Ba_report.Harness.btfnt);
+      ("likely", fun c -> c.Ba_report.Harness.likely);
+      ("pht", fun c -> c.Ba_report.Harness.pht_direct);
+      ("gshare", fun c -> c.Ba_report.Harness.gshare);
+      ("btb64", fun c -> c.Ba_report.Harness.btb64);
+      ("btb256", fun c -> c.Ba_report.Harness.btb256);
+    ]
+
+let test_architecture_ordering_original () =
+  (* On the original layout: FALLTHROUGH is the worst static architecture
+     and the BTB the best overall (paper §6). *)
+  let orig sel = mean (fun e -> sel e.Ba_report.Harness.orig) in
+  check_le "likely <= fallthrough"
+    (orig (fun c -> c.Ba_report.Harness.likely))
+    (orig (fun c -> c.Ba_report.Harness.fallthrough));
+  check_le "btb256 <= likely"
+    (orig (fun c -> c.Ba_report.Harness.btb256))
+    (orig (fun c -> c.Ba_report.Harness.likely));
+  check_le "btb256 <= pht"
+    (orig (fun c -> c.Ba_report.Harness.btb256))
+    (orig (fun c -> c.Ba_report.Harness.pht_direct))
+
+let test_btb_benefits_least () =
+  (* Alignment's gain on the 256-entry BTB is smaller than on FALLTHROUGH. *)
+  let gain sel =
+    mean (fun e -> sel e.Ba_report.Harness.orig)
+    -. mean (fun e -> sel e.Ba_report.Harness.try15)
+  in
+  let ft_gain = gain (fun c -> c.Ba_report.Harness.fallthrough) in
+  let btb_gain = gain (fun c -> c.Ba_report.Harness.btb256) in
+  Alcotest.(check bool)
+    (Printf.sprintf "btb gain (%.3f) < fallthrough gain (%.3f)" btb_gain ft_gain)
+    true (btb_gain < ft_gain)
+
+let test_fallthrough_percentage_rises () =
+  let orig = mean (fun e -> e.Ba_report.Harness.pct_ft_orig) in
+  let aligned = mean (fun e -> e.Ba_report.Harness.pct_ft_try15_ft) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fall-through pct rises (%.1f -> %.1f)" orig aligned)
+    true
+    (aligned > orig +. 10.0)
+
+let test_alignment_narrows_static_dynamic_gap () =
+  (* Paper §6: "branch alignment reduces the difference in performance
+     between the various branch architectures" — measured between BT/FNT
+     and the correlation PHT. *)
+  let gap sel_a sel_b which =
+    mean (fun e -> sel_a (which e)) -. mean (fun e -> sel_b (which e))
+  in
+  let before =
+    gap
+      (fun (c : Ba_report.Harness.arch_cpis) -> c.Ba_report.Harness.btfnt)
+      (fun c -> c.Ba_report.Harness.gshare)
+      (fun e -> e.Ba_report.Harness.orig)
+  in
+  let after =
+    gap
+      (fun c -> c.Ba_report.Harness.btfnt)
+      (fun c -> c.Ba_report.Harness.gshare)
+      (fun e -> e.Ba_report.Harness.try15)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap narrows (%.3f -> %.3f)" before after)
+    true (after < before +. 1e-9)
+
+let test_alpha_only_for_c_programs () =
+  List.iter
+    (fun (e : Ba_report.Harness.eval) ->
+      let name = e.Ba_report.Harness.workload.Ba_workloads.Spec.name in
+      let expected = List.mem name Ba_workloads.Spec.spec_c_programs in
+      Alcotest.(check bool) (name ^ " alpha presence") expected
+        (Option.is_some e.Ba_report.Harness.alpha))
+    (Lazy.force evals)
+
+let test_alpha_normalized () =
+  List.iter
+    (fun (e : Ba_report.Harness.eval) ->
+      match e.Ba_report.Harness.alpha with
+      | Some (o, g, t) ->
+        Alcotest.(check (float 1e-9)) "original is 1.0" 1.0 o;
+        Alcotest.(check bool) "aligned in sane range" true
+          (g > 0.5 && g <= 1.2 && t > 0.5 && t <= 1.2)
+      | None -> ())
+    (Lazy.force evals)
+
+(* -- table rendering ---------------------------------------------------------- *)
+
+let line_count s = List.length (String.split_on_char '\n' s)
+
+let test_tables_render () =
+  let evals = Lazy.force evals in
+  let t2 = Ba_report.Tables.table2 evals in
+  let t3 = Ba_report.Tables.table3 evals in
+  let t4 = Ba_report.Tables.table4 evals in
+  let f4 = Ba_report.Tables.fig4 evals in
+  (* header + separator + 2 group banners + 3 rows + 2 averages + final \n *)
+  Alcotest.(check int) "table2 lines" 10 (line_count t2);
+  Alcotest.(check int) "table3 lines" 10 (line_count t3);
+  Alcotest.(check int) "table4 lines" 10 (line_count t4);
+  (* all three subset programs are SPEC C programs, so Figure 4 has three
+     rows: header + separator + 3 rows + trailing newline. *)
+  Alcotest.(check int) "fig4 lines" 6 (line_count f4)
+
+let test_table1_contents () =
+  let t1 = Ba_report.Tables.table1 () in
+  List.iter
+    (fun needle ->
+      let found =
+        let nh = String.length t1 and nn = String.length needle in
+        let rec scan i = i + nn <= nh && (String.sub t1 i nn = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) (needle ^ " present") true found)
+    [ "Unconditional branch"; "Mispredicted"; "instruction + mispredict" ]
+
+(* -- hotspots ------------------------------------------------------------------ *)
+
+let test_hotspots_alvinn () =
+  (* The paper's own diagnosis: ALVINN's branches concentrate in the two
+     self-loop blocks of input_hidden / hidden_input. *)
+  let w = Option.get (Ba_workloads.Spec.by_name "alvinn") in
+  let program = w.Ba_workloads.Spec.build () in
+  let image = Ba_layout.Image.original program in
+  let hot = Ba_report.Hotspots.create image in
+  let (_ : Ba_exec.Engine.result) =
+    Ba_exec.Engine.run ~max_steps:300_000
+      ~on_event:(Ba_report.Hotspots.on_event hot) image
+  in
+  match Ba_report.Hotspots.top ~k:2 hot with
+  | [ a; b ] ->
+    let names = List.sort compare [ a.Ba_report.Hotspots.proc_name; b.Ba_report.Hotspots.proc_name ] in
+    Alcotest.(check (list string)) "the two layer loops dominate"
+      [ "hidden_input"; "input_hidden" ] names;
+    Alcotest.(check bool) "each is nearly always taken" true
+      (let rate (s : Ba_report.Hotspots.site) =
+         float_of_int s.Ba_report.Hotspots.taken /. float_of_int s.Ba_report.Hotspots.executions
+       in
+       rate a > 0.99 && rate b > 0.99);
+    Alcotest.(check string) "kind" "cond" a.Ba_report.Hotspots.kind
+  | other -> Alcotest.failf "expected 2 sites, got %d" (List.length other)
+
+let test_hotspots_render () =
+  let w = Option.get (Ba_workloads.Spec.by_name "groff") in
+  let program = w.Ba_workloads.Spec.build () in
+  let image = Ba_layout.Image.original program in
+  let hot = Ba_report.Hotspots.create image in
+  let (_ : Ba_exec.Engine.result) =
+    Ba_exec.Engine.run ~max_steps:50_000 ~on_event:(Ba_report.Hotspots.on_event hot) image
+  in
+  let s = Ba_report.Hotspots.render ~k:5 hot in
+  Alcotest.(check int) "header + sep + 5 rows + newline" 8
+    (List.length (String.split_on_char '\n' s))
+
+let suites =
+  [
+    ( "report.shapes",
+      [
+        Alcotest.test_case "try15 <= greedy <= orig (FT)" `Slow
+          test_alignment_ordering_fallthrough;
+        Alcotest.test_case "alignment helps every arch" `Slow
+          test_alignment_helps_every_static_arch;
+        Alcotest.test_case "architecture ordering" `Slow test_architecture_ordering_original;
+        Alcotest.test_case "btb benefits least" `Slow test_btb_benefits_least;
+        Alcotest.test_case "fall-through pct rises" `Slow test_fallthrough_percentage_rises;
+        Alcotest.test_case "static-dynamic gap narrows" `Slow
+          test_alignment_narrows_static_dynamic_gap;
+        Alcotest.test_case "alpha for C programs" `Slow test_alpha_only_for_c_programs;
+        Alcotest.test_case "alpha normalised" `Slow test_alpha_normalized;
+      ] );
+    ( "report.tables",
+      [
+        Alcotest.test_case "render shapes" `Slow test_tables_render;
+        Alcotest.test_case "table1 contents" `Quick test_table1_contents;
+      ] );
+    ( "report.hotspots",
+      [
+        Alcotest.test_case "alvinn self-loops" `Quick test_hotspots_alvinn;
+        Alcotest.test_case "render" `Quick test_hotspots_render;
+      ] );
+  ]

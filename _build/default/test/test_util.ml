@@ -1,0 +1,250 @@
+(* Tests for Ba_util: RNG determinism and distribution sanity, statistics,
+   ASCII table rendering. *)
+
+open Ba_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose msg = Alcotest.(check (float 0.02)) msg
+
+(* -- Rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 8 (fun _ -> Rng.int64 a) in
+  let ys = List.init 8 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 8 (fun _ -> Rng.int64 a) in
+  let ys = List.init 8 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of range: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "Rng.float out of range: %f" v
+  done
+
+let test_rng_bernoulli_rate () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  check_float_loose "bernoulli(0.3)" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_int_uniform () =
+  let r = Rng.create 13 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let rate = float_of_int c /. float_of_int n in
+      if abs_float (rate -. 0.1) > 0.01 then
+        Alcotest.failf "bucket %d rate %.3f too far from 0.1" i rate)
+    counts
+
+let test_rng_pick_weighted () =
+  let r = Rng.create 17 in
+  let n = 30_000 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to n do
+    let v = Rng.pick_weighted r [| ("a", 1.0); ("b", 3.0) |] in
+    Hashtbl.replace counts v (1 + try Hashtbl.find counts v with Not_found -> 0)
+  done;
+  let b = try Hashtbl.find counts "b" with Not_found -> 0 in
+  check_float_loose "weighted pick" 0.75 (float_of_int b /. float_of_int n)
+
+let test_rng_pick_weighted_zero_total () =
+  let r = Rng.create 17 in
+  Alcotest.check_raises "all-zero weights"
+    (Invalid_argument "Rng.pick_weighted: weights must sum to a positive value")
+    (fun () -> ignore (Rng.pick_weighted r [| ((), 0.0) |]))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* -- Stats -------------------------------------------------------------- *)
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  check_float "mean" 2.5 s.Stats.mean;
+  check_float "variance" 1.25 s.Stats.variance;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 4.0 s.Stats.max
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_percentile () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  check_float "median" 3.0 (Stats.percentile 50.0 xs);
+  check_float "p100" 5.0 (Stats.percentile 100.0 xs);
+  check_float "p1" 1.0 (Stats.percentile 1.0 xs)
+
+let test_quantile_sites () =
+  (* Mirrors the paper's Q-50/Q-90 columns: how many sites cover a fraction
+     of all executions, heaviest first. *)
+  let weights = [ (0, 60); (1, 25); (2, 10); (3, 4); (4, 1) ] in
+  Alcotest.(check int) "Q-50" 1 (Stats.quantile_sites ~weights ~fraction:0.5);
+  Alcotest.(check int) "Q-90" 3 (Stats.quantile_sites ~weights ~fraction:0.9);
+  Alcotest.(check int) "Q-99" 4 (Stats.quantile_sites ~weights ~fraction:0.99);
+  Alcotest.(check int) "Q-100" 5 (Stats.quantile_sites ~weights ~fraction:1.0);
+  Alcotest.(check int) "empty" 0 (Stats.quantile_sites ~weights:[] ~fraction:0.5)
+
+let test_ratio_pct () =
+  check_float "ratio" 0.5 (Stats.ratio 1 2);
+  check_float "ratio by zero" 0.0 (Stats.ratio 1 0);
+  check_float "pct" 25.0 (Stats.pct 1 4)
+
+(* -- Ascii_table -------------------------------------------------------- *)
+
+let test_table_render () =
+  let columns = [ Ascii_table.column ~align:Ascii_table.Left "name"; Ascii_table.column "x" ] in
+  let s = Ascii_table.render ~columns ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: _sep :: row1 :: row2 :: _ ->
+    Alcotest.(check string) "header" "name    x" header;
+    Alcotest.(check string) "row1" "alpha   1" row1;
+    Alcotest.(check string) "row2" "b      22" row2
+  | _ -> Alcotest.fail "unexpected table shape")
+
+let test_table_width_mismatch () =
+  let columns = [ Ascii_table.column "a"; Ascii_table.column "b" ] in
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Ascii_table.render: row width mismatch") (fun () ->
+      ignore (Ascii_table.render ~columns ~rows:[ [ "1" ] ]))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_table_grouped () =
+  let columns = [ Ascii_table.column ~align:Ascii_table.Left "name" ] in
+  let s =
+    Ascii_table.render_grouped ~columns
+      ~groups:[ ("G1", [ [ "x" ] ]); ("G2", [ [ "y" ] ]) ]
+  in
+  Alcotest.(check bool) "group header present" true (contains_substring s "-- G1 --");
+  Alcotest.(check bool) "second group present" true (contains_substring s "-- G2 --")
+
+let test_int_cell () =
+  Alcotest.(check string) "thousands" "1,234,567" (Ascii_table.int_cell 1234567);
+  Alcotest.(check string) "small" "42" (Ascii_table.int_cell 42);
+  Alcotest.(check string) "negative" "-1,000" (Ascii_table.int_cell (-1000))
+
+let test_float_cell () =
+  Alcotest.(check string) "default decimals" "1.235" (Ascii_table.float_cell 1.2349);
+  Alcotest.(check string) "one decimal" "1.2" (Ascii_table.float_cell ~decimals:1 1.2349)
+
+(* -- QCheck properties --------------------------------------------------- *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"Rng.int always in range" ~count:500
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let r = Rng.create seed in
+        let v = Rng.int r bound in
+        v >= 0 && v < bound);
+    Test.make ~name:"shuffle preserves multiset" ~count:200
+      (pair small_int (list small_int))
+      (fun (seed, xs) ->
+        let r = Rng.create seed in
+        let a = Array.of_list xs in
+        Rng.shuffle r a;
+        List.sort compare (Array.to_list a) = List.sort compare xs);
+    Test.make ~name:"percentile is a sample element" ~count:200
+      (pair (list_of_size Gen.(int_range 1 20) (float_range (-100.) 100.)) (float_range 0. 100.))
+      (fun (xs, p) -> List.mem (Stats.percentile p xs) xs);
+    Test.make ~name:"quantile_sites monotone in fraction" ~count:200
+      (list (pair small_int (int_range 0 100)))
+      (fun weights ->
+        Stats.quantile_sites ~weights ~fraction:0.5
+        <= Stats.quantile_sites ~weights ~fraction:0.9);
+  ]
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_rejects_nonpositive;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+        Alcotest.test_case "int uniformity" `Quick test_rng_int_uniform;
+        Alcotest.test_case "pick_weighted rate" `Quick test_rng_pick_weighted;
+        Alcotest.test_case "pick_weighted zero total" `Quick test_rng_pick_weighted_zero_total;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "summarize" `Quick test_summarize;
+        Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "quantile_sites" `Quick test_quantile_sites;
+        Alcotest.test_case "ratio/pct" `Quick test_ratio_pct;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+        Alcotest.test_case "grouped" `Quick test_table_grouped;
+        Alcotest.test_case "int_cell" `Quick test_int_cell;
+        Alcotest.test_case "float_cell" `Quick test_float_cell;
+      ] );
+    ("util.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]

@@ -1,0 +1,259 @@
+(* Tests for Ba_workloads: the builder DSL and the 24-program suite. *)
+
+open Ba_ir
+open Ba_workloads
+
+(* -- Builder ----------------------------------------------------------------- *)
+
+let build_single body =
+  let b = Builder.create ~name:"t" ~seed:1 in
+  let main = Builder.declare b ~name:"main" in
+  Builder.define b main body;
+  Builder.build b
+
+let run prog =
+  Ba_exec.Engine.run ~max_steps:100_000 (Ba_layout.Image.original prog)
+
+let test_builder_basic () =
+  let prog = build_single (fun pb -> Builder.basic pb ~insns:7 ()) in
+  Alcotest.(check int) "two blocks (body + halt)" 2 (Program.total_blocks prog);
+  let r = run prog in
+  Alcotest.(check bool) "completed" true r.Ba_exec.Engine.completed;
+  (* 7 body insns + the final block's single instruction + its halt. *)
+  Alcotest.(check int) "insns" 9 r.Ba_exec.Engine.insns
+
+let test_builder_seq () =
+  let prog =
+    build_single (fun pb ->
+        Builder.seq pb
+          [
+            (fun pb -> Builder.basic pb ~insns:1 ());
+            (fun pb -> Builder.basic pb ~insns:2 ());
+            (fun pb -> Builder.basic pb ~insns:3 ());
+          ])
+  in
+  let r = run prog in
+  Alcotest.(check int) "insns" 8 r.Ba_exec.Engine.insns;
+  Alcotest.(check int) "steps" 4 r.Ba_exec.Engine.steps
+
+let test_builder_while_loop_shape () =
+  let prog =
+    build_single (fun pb ->
+        Builder.while_loop pb ~trips:5 ~body:(fun pb -> Builder.basic pb ~insns:4 ()))
+  in
+  (* Naive layout: header first, body after, back jump at the bottom. *)
+  let main = Program.proc prog 0 in
+  (match (Proc.block main 0).Block.term with
+  | Term.Cond { on_true = 1; on_false = 2; _ } -> ()
+  | _ -> Alcotest.fail "header should test and fall into the body");
+  (match (Proc.block main 1).Block.term with
+  | Term.Jump 0 -> ()
+  | _ -> Alcotest.fail "body should jump back to the header");
+  let r = run prog in
+  (* header x5, body x4, halt. *)
+  Alcotest.(check int) "steps" 10 r.Ba_exec.Engine.steps
+
+let test_builder_do_while_shape () =
+  let prog =
+    build_single (fun pb ->
+        Builder.do_while pb ~trips:5 ~body:(fun pb -> Builder.basic pb ~insns:4 ()))
+  in
+  let main = Program.proc prog 0 in
+  (match (Proc.block main 1).Block.term with
+  | Term.Cond { on_true = 0; on_false = 2; _ } -> ()
+  | _ -> Alcotest.fail "latch should branch back to the body");
+  let r = run prog in
+  (* body+latch x5, halt. *)
+  Alcotest.(check int) "steps" 11 r.Ba_exec.Engine.steps
+
+let test_builder_if_else_layout () =
+  let prog =
+    build_single (fun pb ->
+        Builder.if_else pb ~p_true:0.5
+          ~then_:(fun pb -> Builder.basic pb ~insns:1 ())
+          ~else_:(fun pb -> Builder.basic pb ~insns:2 ()))
+  in
+  let main = Program.proc prog 0 in
+  match (Proc.block main 0).Block.term with
+  | Term.Cond { on_true = 1; on_false = 2; _ } -> ()
+  | _ -> Alcotest.fail "then-arm should be the true target right after the test"
+
+let test_builder_switch () =
+  let prog =
+    build_single (fun pb ->
+        Builder.switch pb
+          ~cases:
+            [
+              (1.0, fun pb -> Builder.basic pb ~insns:1 ());
+              (2.0, fun pb -> Builder.basic pb ~insns:1 ());
+            ])
+  in
+  let r = run prog in
+  Alcotest.(check bool) "completed" true r.Ba_exec.Engine.completed;
+  Alcotest.(check int) "steps: switch, one case, halt" 3 r.Ba_exec.Engine.steps
+
+let test_builder_call_and_vcall () =
+  let b = Builder.create ~name:"t" ~seed:1 in
+  let main = Builder.declare b ~name:"main" in
+  let leaf1 = Builder.declare b ~name:"leaf1" in
+  let leaf2 = Builder.declare b ~name:"leaf2" in
+  Builder.define b leaf1 (fun pb -> Builder.basic pb ~insns:2 ());
+  Builder.define b leaf2 (fun pb -> Builder.basic pb ~insns:3 ());
+  Builder.define b main (fun pb ->
+      Builder.seq pb
+        [
+          (fun pb -> Builder.call pb leaf1);
+          (fun pb -> Builder.vcall pb [ (leaf1, 1.0); (leaf2, 1.0) ]);
+        ]);
+  let prog = Builder.build b in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Program.validate prog));
+  let r = run prog in
+  Alcotest.(check bool) "completed" true r.Ba_exec.Engine.completed
+
+let test_builder_rejects_double_define () =
+  let b = Builder.create ~name:"t" ~seed:1 in
+  let main = Builder.declare b ~name:"main" in
+  Builder.define b main (fun pb -> Builder.basic pb ());
+  Alcotest.check_raises "double define"
+    (Invalid_argument "Builder.define: procedure already defined") (fun () ->
+      Builder.define b main (fun pb -> Builder.basic pb ()))
+
+let test_builder_rejects_undefined () =
+  let b = Builder.create ~name:"t" ~seed:1 in
+  let main = Builder.declare b ~name:"main" in
+  let _ = Builder.declare b ~name:"missing" in
+  Builder.define b main (fun pb -> Builder.basic pb ());
+  Alcotest.check_raises "undefined proc"
+    (Invalid_argument "Builder.build: procedure missing undefined") (fun () ->
+      ignore (Builder.build b))
+
+let test_builder_rejects_double_patch () =
+  let b = Builder.create ~name:"t" ~seed:1 in
+  let main = Builder.declare b ~name:"main" in
+  Alcotest.(check bool) "double patch raises" true
+    (try
+       Builder.define b main (fun pb ->
+           let r = Builder.basic pb () in
+           r.Builder.patch_next 0;
+           r);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- the suite ----------------------------------------------------------------- *)
+
+let test_suite_has_24_programs () =
+  Alcotest.(check int) "24 workloads" 24 (List.length Spec.all);
+  let names = List.map (fun (w : Spec.t) -> w.Spec.name) Spec.all in
+  Alcotest.(check bool) "names unique" true
+    (List.length (List.sort_uniq compare names) = 24);
+  Alcotest.(check int) "13 fp" 13
+    (List.length (List.filter (fun (w : Spec.t) -> w.Spec.cls = Spec.Fp) Spec.all));
+  Alcotest.(check int) "6 int" 6
+    (List.length (List.filter (fun (w : Spec.t) -> w.Spec.cls = Spec.Int) Spec.all));
+  Alcotest.(check int) "5 other" 5
+    (List.length (List.filter (fun (w : Spec.t) -> w.Spec.cls = Spec.Other) Spec.all))
+
+let test_by_name () =
+  (match Spec.by_name "espresso" with
+  | Some w -> Alcotest.(check bool) "espresso is int" true (w.Spec.cls = Spec.Int)
+  | None -> Alcotest.fail "espresso missing");
+  Alcotest.(check bool) "unknown" true (Spec.by_name "quake" = None)
+
+let test_fig4_programs_exist () =
+  Alcotest.(check int) "eight C programs" 8 (List.length Spec.spec_c_programs);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " exists") true (Option.is_some (Spec.by_name n)))
+    Spec.spec_c_programs
+
+let test_all_workloads_valid_and_deterministic () =
+  List.iter
+    (fun (w : Spec.t) ->
+      let p1 = w.Spec.build () in
+      Alcotest.(check bool) (w.Spec.name ^ " valid") true
+        (Result.is_ok (Program.validate p1));
+      let p2 = w.Spec.build () in
+      let r1 = Ba_exec.Engine.run ~max_steps:20_000 (Ba_layout.Image.original p1) in
+      let r2 = Ba_exec.Engine.run ~max_steps:20_000 (Ba_layout.Image.original p2) in
+      Alcotest.(check bool) (w.Spec.name ^ " deterministic") true (r1 = r2))
+    Spec.all
+
+let test_all_workloads_terminate () =
+  List.iter
+    (fun (w : Spec.t) ->
+      let r =
+        Ba_exec.Engine.run ~max_steps:Spec.default_max_steps
+          (Ba_layout.Image.original (w.Spec.build ()))
+      in
+      Alcotest.(check bool) (w.Spec.name ^ " completes in budget") true
+        r.Ba_exec.Engine.completed)
+    Spec.all
+
+(* The class signatures the suite is designed around (paper §6: FP programs
+   break control flow ~6.5% of instructions vs ~16% for INT/Other; C++
+   workloads are the ones with virtual dispatch). *)
+let class_stats cls =
+  List.filter_map
+    (fun (w : Spec.t) ->
+      if w.Spec.cls <> cls then None
+      else begin
+        let program = w.Spec.build () in
+        let stats = Ba_exec.Trace_stats.create () in
+        let r =
+          Ba_exec.Engine.run ~max_steps:400_000
+            ~on_event:(Ba_exec.Trace_stats.on_event stats)
+            (Ba_layout.Image.original program)
+        in
+        Some (Ba_exec.Trace_stats.summarize stats ~program ~insns:r.Ba_exec.Engine.insns)
+      end)
+    Spec.all
+
+let test_fp_breaks_lower_than_int () =
+  let mean sel xs = Ba_util.Stats.mean (List.map sel xs) in
+  let fp = class_stats Spec.Fp and int_ = class_stats Spec.Int in
+  let fp_breaks = mean (fun s -> s.Ba_exec.Trace_stats.pct_breaks) fp in
+  let int_breaks = mean (fun s -> s.Ba_exec.Trace_stats.pct_breaks) int_ in
+  Alcotest.(check bool)
+    (Printf.sprintf "fp breaks (%.1f%%) well below int breaks (%.1f%%)" fp_breaks int_breaks)
+    true
+    (fp_breaks +. 5.0 < int_breaks);
+  let fp_taken = mean (fun s -> s.Ba_exec.Trace_stats.pct_taken) fp in
+  Alcotest.(check bool)
+    (Printf.sprintf "fp conditionals mostly taken (%.1f%%)" fp_taken)
+    true (fp_taken > 55.0)
+
+let test_cxx_programs_have_indirect_calls () =
+  let others = class_stats Spec.Other in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "indirect share positive" true
+        (s.Ba_exec.Trace_stats.pct_ij > 0.5))
+    others
+
+let suites =
+  [
+    ( "workloads.builder",
+      [
+        Alcotest.test_case "basic" `Quick test_builder_basic;
+        Alcotest.test_case "seq" `Quick test_builder_seq;
+        Alcotest.test_case "while shape" `Quick test_builder_while_loop_shape;
+        Alcotest.test_case "do_while shape" `Quick test_builder_do_while_shape;
+        Alcotest.test_case "if_else layout" `Quick test_builder_if_else_layout;
+        Alcotest.test_case "switch" `Quick test_builder_switch;
+        Alcotest.test_case "call/vcall" `Quick test_builder_call_and_vcall;
+        Alcotest.test_case "double define" `Quick test_builder_rejects_double_define;
+        Alcotest.test_case "undefined proc" `Quick test_builder_rejects_undefined;
+        Alcotest.test_case "double patch" `Quick test_builder_rejects_double_patch;
+      ] );
+    ( "workloads.suite",
+      [
+        Alcotest.test_case "24 programs" `Quick test_suite_has_24_programs;
+        Alcotest.test_case "by_name" `Quick test_by_name;
+        Alcotest.test_case "figure 4 programs" `Quick test_fig4_programs_exist;
+        Alcotest.test_case "valid and deterministic" `Slow
+          test_all_workloads_valid_and_deterministic;
+        Alcotest.test_case "terminate" `Slow test_all_workloads_terminate;
+        Alcotest.test_case "fp vs int breaks" `Slow test_fp_breaks_lower_than_int;
+        Alcotest.test_case "c++ indirect calls" `Slow test_cxx_programs_have_indirect_calls;
+      ] );
+  ]
