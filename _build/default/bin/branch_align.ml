@@ -212,6 +212,67 @@ let disasm_cmd name algo arch proc_id max_steps =
   in
   print_string (Ba_isa.Disasm.side_by_side ~original ~aligned proc_id)
 
+let lint_cmd workload algo arch strict max_steps =
+  let workloads =
+    match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
+  in
+  let reports =
+    List.map
+      (fun (w : Ba_workloads.Spec.t) ->
+        (w, Ba_analysis.Run.check_pipeline ~arch ~max_steps ~algo (w.Ba_workloads.Spec.build ())))
+      workloads
+  in
+  let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
+  let rows = ref [] in
+  List.iter
+    (fun ((w : Ba_workloads.Spec.t), report) ->
+      let diags = Ba_analysis.Run.diagnostics report in
+      let e, warn, i = Ba_analysis.Diagnostic.count diags in
+      total_errors := !total_errors + e;
+      total_warnings := !total_warnings + warn;
+      total_infos := !total_infos + i;
+      let stages =
+        String.concat ","
+          (List.map
+             (fun s ->
+               Ba_analysis.Run.stage_name s
+               ^ if Ba_analysis.Run.ran report s then "" else "(skipped)")
+             Ba_analysis.Run.all_stages)
+      in
+      Printf.printf "%-12s %d error%s, %d warning%s, %d info  [%s]\n"
+        w.Ba_workloads.Spec.name e
+        (if e = 1 then "" else "s")
+        warn
+        (if warn = 1 then "" else "s")
+        i stages;
+      List.iter
+        (fun d -> rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows)
+        diags)
+    reports;
+  if !rows <> [] then begin
+    let columns =
+      Ba_util.Ascii_table.
+        [
+          column ~align:Left "workload"; column ~align:Left "severity";
+          column ~align:Left "rule"; column ~align:Left "location";
+          column ~align:Left "message";
+        ]
+    in
+    print_newline ();
+    print_string (Ba_util.Ascii_table.render ~columns ~rows:(List.rev !rows))
+  end;
+  Printf.printf "\nlinted %d workload%s (algorithm %s, cost model %s): %d error%s, %d warning%s, %d info\n"
+    (List.length reports)
+    (if List.length reports = 1 then "" else "s")
+    (Ba_core.Align.algo_name algo)
+    (Ba_core.Cost_model.arch_name arch)
+    !total_errors
+    (if !total_errors = 1 then "" else "s")
+    !total_warnings
+    (if !total_warnings = 1 then "" else "s")
+    !total_infos;
+  if !total_errors > 0 || (strict && !total_warnings > 0) then exit 1
+
 let list_cmd () =
   let columns =
     Ba_util.Ascii_table.
@@ -286,9 +347,26 @@ let () =
         $ Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id.")
         $ max_steps_arg)
   in
+  let lint =
+    let workload_opt_arg =
+      let doc = "Workload to lint; omit to lint every built-in workload." in
+      Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc)
+    in
+    let strict_arg =
+      let doc = "Treat warnings as fatal (non-zero exit)." in
+      Arg.(value & flag & info [ "strict" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Run the five-stage static checker (IR, profile, decision, linear, \
+            image) over the whole alignment pipeline; exits non-zero on any error.")
+      Term.(const lint_cmd $ workload_opt_arg $ algo_arg $ arch_arg $ strict_arg
+            $ max_steps_arg)
+  in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
-          [ run; list; dump; hotspots; record; replay; disasm ]))
+          [ run; list; dump; hotspots; record; replay; disasm; lint ]))

@@ -1,0 +1,1 @@
+lib/analysis/check_decision.ml: Array Ba_ir Ba_layout Block Diagnostic List Printf Proc Term

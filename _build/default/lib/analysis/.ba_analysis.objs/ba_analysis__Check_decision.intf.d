@@ -1,0 +1,1 @@
+lib/analysis/check_decision.mli: Ba_ir Ba_layout Diagnostic

@@ -1,0 +1,1 @@
+lib/analysis/check_image.ml: Array Ba_ir Ba_layout Diagnostic Image Linear List Proc Program

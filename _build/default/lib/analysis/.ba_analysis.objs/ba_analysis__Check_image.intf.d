@@ -1,0 +1,1 @@
+lib/analysis/check_image.mli: Ba_layout Diagnostic

@@ -1,0 +1,1 @@
+lib/analysis/check_ir.ml: Array Ba_ir Behavior Block Diagnostic Hashtbl List Printf Proc Program String Term

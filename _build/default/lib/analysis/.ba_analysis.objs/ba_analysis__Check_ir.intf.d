@@ -1,0 +1,1 @@
+lib/analysis/check_ir.mli: Ba_ir Diagnostic

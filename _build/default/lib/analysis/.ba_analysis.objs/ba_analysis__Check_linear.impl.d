@@ -1,0 +1,1 @@
+lib/analysis/check_linear.ml: Array Ba_ir Ba_layout Block Decision Diagnostic Linear List Printf Proc Term

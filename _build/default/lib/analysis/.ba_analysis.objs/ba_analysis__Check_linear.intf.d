@@ -1,0 +1,1 @@
+lib/analysis/check_linear.mli: Ba_ir Ba_layout Diagnostic

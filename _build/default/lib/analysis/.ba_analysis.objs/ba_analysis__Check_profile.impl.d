@@ -1,0 +1,1 @@
+lib/analysis/check_profile.ml: Array Ba_cfg Ba_ir Block Diagnostic List Printf Proc Program Term

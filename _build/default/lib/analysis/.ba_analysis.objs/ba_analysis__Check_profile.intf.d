@@ -1,0 +1,1 @@
+lib/analysis/check_profile.mli: Ba_cfg Diagnostic

@@ -1,0 +1,1 @@
+lib/analysis/diagnostic.ml: Ba_ir Fmt List Printf

@@ -1,0 +1,1 @@
+lib/analysis/diagnostic.mli: Ba_ir Format

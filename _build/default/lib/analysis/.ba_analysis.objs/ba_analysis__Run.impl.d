@@ -1,0 +1,1 @@
+lib/analysis/run.ml: Array Ba_cfg Ba_core Ba_exec Ba_ir Ba_layout Check_decision Check_image Check_ir Check_linear Check_profile Diagnostic List

@@ -1,0 +1,1 @@
+lib/analysis/run.mli: Ba_cfg Ba_core Ba_ir Ba_layout Diagnostic

@@ -1,0 +1,60 @@
+open Ba_ir
+
+let check ~proc_id (p : Proc.t) (d : Ba_layout.Decision.t) =
+  let n = Proc.n_blocks p in
+  let diags = ref [] in
+  let at loc sev ~rule fmt =
+    Printf.ksprintf
+      (fun message -> diags := { Diagnostic.severity = sev; rule; loc; message } :: !diags)
+      fmt
+  in
+  let proc_loc = Diagnostic.Proc { proc = proc_id; proc_name = p.Proc.name } in
+  let block_loc b =
+    Diagnostic.Block { proc = proc_id; proc_name = p.Proc.name; block = b }
+  in
+  let order = d.Ba_layout.Decision.order in
+  if Array.length order <> n then
+    at proc_loc Diagnostic.Error ~rule:"decision/order-length"
+      "layout order has %d entries for a %d-block procedure" (Array.length order) n
+  else begin
+    let seen = Array.make n 0 in
+    Array.iter
+      (fun b ->
+        if b < 0 || b >= n then
+          at proc_loc Diagnostic.Error ~rule:"decision/block-range"
+            "layout names block %d, out of range for a %d-block procedure" b n
+        else seen.(b) <- seen.(b) + 1)
+      order;
+    Array.iteri
+      (fun b times ->
+        if times > 1 then
+          at (block_loc b) Diagnostic.Error ~rule:"decision/duplicate-block"
+            "block appears %d times in the layout order" times
+        else if times = 0 then
+          at (block_loc b) Diagnostic.Error ~rule:"decision/missing-block"
+            "block missing from the layout order")
+      seen;
+    if order.(0) <> Proc.entry then
+      at proc_loc Diagnostic.Error ~rule:"decision/entry-not-first"
+        "layout starts with block %d, not the entry block %d" order.(0) Proc.entry
+  end;
+  let neither = d.Ba_layout.Decision.neither in
+  if Array.length neither <> n then
+    at proc_loc Diagnostic.Error ~rule:"decision/neither-length"
+      "forced-jump set has %d entries for a %d-block procedure" (Array.length neither)
+      n
+  else
+    Array.iteri
+      (fun b forced ->
+        match forced with
+        | None -> ()
+        | Some leg -> (
+          match (Proc.block p b).Block.term with
+          | Term.Cond _ -> ()
+          | term ->
+            at (block_loc b) Diagnostic.Warning ~rule:"decision/neither-non-cond"
+              "forced jump leg (%s) on a non-conditional block (%s); lowering ignores \
+               it"
+              (Ba_layout.Decision.leg_name leg) (Term.kind_name term)))
+      neither;
+  List.rev !diags

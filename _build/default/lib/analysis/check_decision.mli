@@ -1,0 +1,17 @@
+(** Stage 3: layout decisions.
+
+    An alignment algorithm's output must be a true permutation of the
+    procedure's blocks with the entry block first (a procedure's entry
+    point is its first address), and its forced "align neither edge" set
+    must be sized to the procedure and only name conditional blocks.
+
+    Rules: [decision/order-length], [decision/block-range],
+    [decision/duplicate-block], [decision/missing-block],
+    [decision/entry-not-first], [decision/neither-length],
+    [decision/neither-non-cond]. *)
+
+val check :
+  proc_id:Ba_ir.Term.proc_id ->
+  Ba_ir.Proc.t ->
+  Ba_layout.Decision.t ->
+  Diagnostic.t list

@@ -1,0 +1,54 @@
+open Ba_ir
+open Ba_layout
+
+let check (image : Image.t) =
+  let program = image.Image.program in
+  let n_procs = Program.n_procs program in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if
+    Array.length image.Image.linears <> n_procs
+    || Array.length image.Image.bases <> n_procs
+  then
+    add
+      (Diagnostic.make Diagnostic.Error ~rule:"image/linear-count"
+         ~loc:Diagnostic.Program
+         "%d layouts and %d bases for a %d-procedure program"
+         (Array.length image.Image.linears)
+         (Array.length image.Image.bases)
+         n_procs)
+  else begin
+    let expected_base = ref 0 in
+    Array.iteri
+      (fun pid (linear : Linear.t) ->
+        let proc_name = (Program.proc program pid).Proc.name in
+        let proc_loc = Diagnostic.Proc { proc = pid; proc_name } in
+        if image.Image.bases.(pid) <> !expected_base then
+          add
+            (Diagnostic.make Diagnostic.Error ~rule:"image/proc-overlap" ~loc:proc_loc
+               "procedure based at address %d but the previous procedure ends at %d"
+               image.Image.bases.(pid) !expected_base);
+        let cursor = ref image.Image.bases.(pid) in
+        Array.iteri
+          (fun i (lb : Linear.lblock) ->
+            if lb.Linear.addr <> !cursor then
+              add
+                (Diagnostic.make Diagnostic.Error
+                   ~rule:
+                     (if i = 0 then "image/base-mismatch" else "image/address-gap")
+                   ~loc:(Diagnostic.Layout_pos { proc = pid; proc_name; pos = i })
+                   "block at address %d but the preceding code ends at %d \
+                    (addresses must be contiguous and strictly increasing)"
+                   lb.Linear.addr !cursor);
+            cursor := lb.Linear.addr + Linear.block_size lb)
+          linear.Linear.blocks;
+        expected_base := !cursor)
+      image.Image.linears;
+    if image.Image.total_size <> !expected_base then
+      add
+        (Diagnostic.make Diagnostic.Error ~rule:"image/total-size"
+           ~loc:Diagnostic.Program
+           "total_size is %d but the last procedure ends at address %d"
+           image.Image.total_size !expected_base)
+  end;
+  List.rev !diags

@@ -1,0 +1,24 @@
+(** Stage 4: lowered (linear) code.
+
+    Each lowered layout block must round-trip to its semantic block: pure
+    fall-throughs target exactly the next layout position, a conditional's
+    taken/fall legs biject with the IR terminator's true/false edges (with
+    [taken_on] naming the sense correctly after any inversion), inserted
+    unconditional jumps appear only where the decision forces them or no
+    successor is adjacent, forced "neither" decisions are honoured and
+    routed through the demanded leg, switch position/weight tables mirror
+    the IR target table, and call continuations fall through exactly when
+    adjacent.  A jump to the very next layout position is reported as
+    redundant — the lowering never needs one.
+
+    Rules: [linear/invalid-decision], [linear/block-count],
+    [linear/src-mismatch], [linear/off-end], [linear/position-range],
+    [linear/terminator-kind], [linear/fallthrough-mismatch],
+    [linear/cond-edges], [linear/jump-not-demanded],
+    [linear/forced-ignored], [linear/forced-leg], [linear/redundant-jump],
+    [linear/switch-mismatch], [linear/call-mismatch]. *)
+
+val check : proc_id:Ba_ir.Term.proc_id -> Ba_layout.Linear.t -> Diagnostic.t list
+(** Assumes the linear code's decision is a valid permutation; if it is
+    not, a single [linear/invalid-decision] error is returned instead
+    (stage 3 reports the details). *)

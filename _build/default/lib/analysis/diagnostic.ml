@@ -1,0 +1,68 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Program
+  | Proc of { proc : Ba_ir.Term.proc_id; proc_name : string }
+  | Block of {
+      proc : Ba_ir.Term.proc_id;
+      proc_name : string;
+      block : Ba_ir.Term.block_id;
+    }
+  | Layout_pos of { proc : Ba_ir.Term.proc_id; proc_name : string; pos : int }
+
+type t = { severity : severity; rule : string; loc : location; message : string }
+
+let make severity ~rule ~loc fmt =
+  Printf.ksprintf (fun message -> { severity; rule; loc; message }) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* Locations order program-first, then by procedure, then by block/position;
+   blocks sort before layout positions of the same procedure so IR-level
+   findings lead. *)
+let location_key = function
+  | Program -> (-1, 0, 0)
+  | Proc { proc; _ } -> (proc, -1, 0)
+  | Block { proc; block; _ } -> (proc, 0, block)
+  | Layout_pos { proc; pos; _ } -> (proc, 1, pos)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else
+        let c = compare (location_key a.loc) (location_key b.loc) in
+        if c <> 0 then c else compare a.rule b.rule)
+    ds
+
+let location_string = function
+  | Program -> "program"
+  | Proc { proc_name; _ } -> proc_name
+  | Block { proc_name; block; _ } -> Printf.sprintf "%s/b%d" proc_name block
+  | Layout_pos { proc_name; pos; _ } -> Printf.sprintf "%s@%d" proc_name pos
+
+let pp_location ppf loc = Fmt.string ppf (location_string loc)
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s] %a: %s" (severity_name d.severity) d.rule pp_location d.loc
+    d.message
+
+let to_row d =
+  [ severity_name d.severity; d.rule; location_string d.loc; d.message ]

@@ -1,0 +1,73 @@
+type stage = Ir | Profile | Decision | Linear | Image
+
+let stage_name = function
+  | Ir -> "ir"
+  | Profile -> "profile"
+  | Decision -> "decision"
+  | Linear -> "linear"
+  | Image -> "image"
+
+let all_stages = [ Ir; Profile; Decision; Linear; Image ]
+
+type report = {
+  program_name : string;
+  algo : Ba_core.Align.algo;
+  arch : Ba_core.Cost_model.arch;
+  stages : (stage * Diagnostic.t list) list;
+}
+
+let diagnostics r = Diagnostic.sort (List.concat_map snd r.stages)
+
+let error_count r =
+  let e, _, _ = Diagnostic.count (diagnostics r) in
+  e
+
+let ran r stage = List.mem_assoc stage r.stages
+
+let has_errors diags = List.exists Diagnostic.is_error diags
+
+let check_layout ?profile (program : Ba_ir.Program.t) decisions =
+  let n = Ba_ir.Program.n_procs program in
+  if Array.length decisions <> n then
+    invalid_arg "Run.check_layout: one decision per procedure required";
+  let decision_diags =
+    List.concat
+      (List.init n (fun pid ->
+           Check_decision.check ~proc_id:pid (Ba_ir.Program.proc program pid)
+             decisions.(pid)))
+  in
+  if has_errors decision_diags then [ (Decision, decision_diags) ]
+  else begin
+    let image = Ba_layout.Image.build ?profile program decisions in
+    let linear_diags =
+      List.concat
+        (List.init n (fun pid ->
+             Check_linear.check ~proc_id:pid image.Ba_layout.Image.linears.(pid)))
+    in
+    [
+      (Decision, decision_diags);
+      (Linear, linear_diags);
+      (Image, Check_image.check image);
+    ]
+  end
+
+let check_pipeline ?(arch = Ba_core.Cost_model.Btfnt) ?max_steps ?profile ~algo
+    (program : Ba_ir.Program.t) =
+  let ir_diags = Check_ir.check_program program in
+  let stages =
+    if has_errors ir_diags then [ (Ir, ir_diags) ]
+    else begin
+      let profile =
+        match profile with
+        | Some p ->
+          if Ba_cfg.Profile.program p != program then
+            invalid_arg "Run.check_pipeline: profile of a different program";
+          p
+        | None -> Ba_exec.Engine.profile_program ?max_steps program
+      in
+      let profile_diags = Check_profile.check profile in
+      let decisions = Ba_core.Align.align_program algo ~arch profile in
+      (Ir, ir_diags) :: (Profile, profile_diags) :: check_layout ~profile program decisions
+    end
+  in
+  { program_name = program.Ba_ir.Program.name; algo; arch; stages }

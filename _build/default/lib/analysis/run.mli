@@ -1,0 +1,54 @@
+(** Threading all checkers over one workload / algorithm pair.
+
+    [check_pipeline] drives the same pipeline the tool itself runs —
+    profile the original layout, align every procedure, lower, assign
+    addresses — and lints every intermediate product: the IR (stage 1),
+    the collected profile (stage 2), each procedure's layout decision
+    (stage 3), each lowered procedure (stage 4) and the final code image
+    (stage 5).  Later stages are skipped when an earlier stage reports
+    errors (aligning an invalid program, or lowering a non-permutation,
+    would crash rather than lint). *)
+
+type stage = Ir | Profile | Decision | Linear | Image
+
+val stage_name : stage -> string
+val all_stages : stage list
+
+type report = {
+  program_name : string;
+  algo : Ba_core.Align.algo;
+  arch : Ba_core.Cost_model.arch;
+  stages : (stage * Diagnostic.t list) list;
+      (** executed stages in pipeline order, with their findings *)
+}
+
+val diagnostics : report -> Diagnostic.t list
+(** All findings of all executed stages, in {!Diagnostic.sort} order. *)
+
+val error_count : report -> int
+val ran : report -> stage -> bool
+
+val check_layout :
+  ?profile:Ba_cfg.Profile.t ->
+  Ba_ir.Program.t ->
+  Ba_layout.Decision.t array ->
+  (stage * Diagnostic.t list) list
+(** Lint externally supplied decisions: stage 3 on every procedure, then —
+    only if no decision errors — lower and run stages 4 and 5.  [profile]
+    feeds the profile-guided jump-leg choice during lowering, as in
+    {!Ba_layout.Image.build}.  Raises [Invalid_argument] if the decision
+    array length does not match the program. *)
+
+val check_pipeline :
+  ?arch:Ba_core.Cost_model.arch ->
+  ?max_steps:int ->
+  ?profile:Ba_cfg.Profile.t ->
+  algo:Ba_core.Align.algo ->
+  Ba_ir.Program.t ->
+  report
+(** Run the full five-stage lint.  [arch] (default [Btfnt]) selects the
+    cost model the alignment runs under; [max_steps] bounds the profiling
+    run (default {!Ba_exec.Engine.run}'s); [profile], when given, replaces
+    the profiling run (it must have been created for [program] — raises
+    [Invalid_argument] otherwise), letting callers lint many
+    algorithm/architecture pairs against one profile. *)

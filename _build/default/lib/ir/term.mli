@@ -33,6 +33,10 @@ val successors : t -> block_id list
 (** Intra-procedural successor blocks, without duplicates, in a fixed
     order. *)
 
+val kind_name : t -> string
+(** Lower-case constructor name ("jump", "cond", ...), used to locate
+    diagnostics in validation and lint messages. *)
+
 val is_branch_site : t -> bool
 (** Does this terminator always lower to at least one branch instruction?
     [Jump]/[Call]/[Vcall] continuations may lower to pure fall-throughs;

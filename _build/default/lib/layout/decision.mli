@@ -46,4 +46,7 @@ val validate : Ba_ir.Proc.t -> t -> (unit, string) result
 (** The order must be a permutation of the procedure's blocks with the entry
     block first, and the forced set must be sized to the procedure. *)
 
+val leg_name : jump_leg -> string
+(** "heavier" / "true" / "false", for diagnostics. *)
+
 val pp : Format.formatter -> t -> unit

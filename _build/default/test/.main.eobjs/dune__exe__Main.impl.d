@@ -1,1 +1,1 @@
-test/main.ml: Alcotest List Test_cfg Test_core Test_exec Test_ir Test_isa Test_layout Test_predict Test_report Test_sim Test_util Test_workloads
+test/main.ml: Alcotest List Test_analysis Test_cfg Test_core Test_exec Test_ir Test_isa Test_layout Test_predict Test_report Test_sim Test_util Test_workloads

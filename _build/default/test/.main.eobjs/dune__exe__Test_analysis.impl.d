@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ba_analysis Ba_cfg Ba_core Ba_exec Ba_ir Ba_layout Ba_workloads Behavior Block Check_decision Check_profile Diagnostic List Proc Program Run Term

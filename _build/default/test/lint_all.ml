@@ -1,0 +1,60 @@
+(* The lint-all matrix: every built-in workload, linted end-to-end under
+   every alignment algorithm and every architectural cost model.  Runs as
+   part of `dune runtest`; any Error-severity diagnostic fails the build
+   with its rule id and location printed.
+
+   Each workload is profiled once and the profile reused across the
+   algorithm × architecture grid (the profile is layout-independent, so
+   this is exactly what the experiment harness does too). *)
+
+let algos =
+  [
+    Ba_core.Align.Original;
+    Ba_core.Align.Greedy;
+    Ba_core.Align.Cost;
+    Ba_core.Align.Tryn 15;
+  ]
+
+(* Enough budget that every workload's control-flow signature is fully
+   exercised; completion is not required (truncation is lint-legal). *)
+let max_steps = 60_000
+
+let () =
+  let failed = ref 0 and reports = ref 0 in
+  List.iter
+    (fun (w : Ba_workloads.Spec.t) ->
+      let program = w.Ba_workloads.Spec.build () in
+      let profile = Ba_exec.Engine.profile_program ~max_steps program in
+      List.iter
+        (fun algo ->
+          List.iter
+            (fun arch ->
+              incr reports;
+              let report =
+                Ba_analysis.Run.check_pipeline ~arch ~profile ~algo program
+              in
+              let errs = Ba_analysis.Run.error_count report in
+              if errs > 0 then begin
+                incr failed;
+                Printf.printf "FAIL %-12s %-8s %-11s %d error%s\n" w.name
+                  (Ba_core.Align.algo_name algo)
+                  (Ba_core.Cost_model.arch_name arch)
+                  errs
+                  (if errs = 1 then "" else "s");
+                List.iter
+                  (fun d ->
+                    if Ba_analysis.Diagnostic.is_error d then
+                      Format.printf "  %a@." Ba_analysis.Diagnostic.pp d)
+                  (Ba_analysis.Run.diagnostics report)
+              end)
+            Ba_core.Cost_model.all_arches)
+        algos)
+    Ba_workloads.Spec.all;
+  if !failed > 0 then begin
+    Printf.printf "lint-all: %d of %d workload/algo/arch combinations failed\n"
+      !failed !reports;
+    exit 1
+  end
+  else
+    Printf.printf
+      "lint-all: %d workload/algo/arch combinations, no errors\n" !reports

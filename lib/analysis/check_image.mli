@@ -1,0 +1,12 @@
+(** Stage 5: whole-program code images.
+
+    Address accounting: procedure bases start at zero and are laid
+    end-to-end in program order, each layout block starts exactly where the
+    previous one ended (its straight-line instructions plus terminator
+    instructions — so addresses are strictly increasing, with no gaps or
+    overlaps), and [total_size] equals the end of the last procedure.
+
+    Rules: [image/linear-count], [image/base-mismatch],
+    [image/address-gap], [image/proc-overlap], [image/total-size]. *)
+
+val check : Ba_layout.Image.t -> Diagnostic.t list

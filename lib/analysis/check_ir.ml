@@ -1,0 +1,215 @@
+open Ba_ir
+
+let check_proc ~proc_id (p : Proc.t) =
+  let n = Proc.n_blocks p in
+  let diags = ref [] in
+  let at block sev ~rule fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diagnostic.severity = sev; rule;
+            loc = Diagnostic.Block { proc = proc_id; proc_name = p.Proc.name; block };
+            message }
+          :: !diags)
+      fmt
+  in
+  let in_range b = b >= 0 && b < n in
+  let all_in_range = ref true in
+  Array.iteri
+    (fun src (blk : Block.t) ->
+      let kind = Term.kind_name blk.Block.term in
+      List.iter
+        (fun d ->
+          if not (in_range d) then begin
+            all_in_range := false;
+            at src Diagnostic.Error ~rule:"ir/successor-range"
+              "%s successor %d out of range (procedure has %d blocks)" kind d n
+          end)
+        (Term.successors blk.Block.term);
+      match blk.Block.term with
+      | Term.Jump d -> if d = src then
+          at src Diagnostic.Error ~rule:"ir/self-jump"
+            "unconditional jump to itself: control can never leave this block"
+      | Term.Cond { on_true; on_false; behavior } ->
+        if on_true = on_false then
+          at src Diagnostic.Error ~rule:"ir/cond-equal-targets"
+            "conditional with equal targets (both b%d)" on_true;
+        (match Behavior.validate behavior with
+        | Ok () -> ()
+        | Error e -> at src Diagnostic.Error ~rule:"ir/bad-behavior" "%s" e);
+        (match behavior with
+        | Behavior.Always v ->
+          at src Diagnostic.Info ~rule:"ir/cond-constant"
+            "conditional always resolves %b: edge to b%d is dead" v
+            (if v then on_false else on_true)
+        | _ -> ())
+      | Term.Switch { targets } ->
+        if Array.length targets = 0 then
+          at src Diagnostic.Error ~rule:"ir/switch-empty" "switch with no targets"
+        else begin
+          Array.iteri
+            (fun i (d, w) ->
+              if w < 0.0 then
+                at src Diagnostic.Error ~rule:"ir/switch-negative-weight"
+                  "case %d (target b%d) has negative weight %g" i d w)
+            targets;
+          if Array.for_all (fun (_, w) -> w = 0.0) targets then
+            at src Diagnostic.Error ~rule:"ir/switch-all-zero"
+              "all %d switch weights are zero" (Array.length targets)
+          else
+            Array.iteri
+              (fun i (d, w) ->
+                if w = 0.0 then
+                  at src Diagnostic.Warning ~rule:"ir/switch-dead-case"
+                    "case %d (target b%d) has zero weight and never executes" i d)
+              targets;
+          let seen = Hashtbl.create 8 in
+          Array.iter
+            (fun (d, _) ->
+              if Hashtbl.mem seen d then begin
+                if Hashtbl.find seen d then begin
+                  Hashtbl.replace seen d false;
+                  at src Diagnostic.Info ~rule:"ir/switch-duplicate-target"
+                    "target b%d appears in several cases" d
+                end
+              end
+              else Hashtbl.add seen d true)
+            targets
+        end
+      | Term.Vcall { callees; _ } ->
+        if Array.length callees = 0 then
+          at src Diagnostic.Error ~rule:"ir/vcall-empty" "vcall with no callees"
+        else begin
+          Array.iteri
+            (fun i (callee, w) ->
+              if w < 0.0 then
+                at src Diagnostic.Error ~rule:"ir/vcall-negative-weight"
+                  "callee %d (p%d) has negative weight %g" i callee w)
+            callees;
+          if Array.for_all (fun (_, w) -> w = 0.0) callees then
+            at src Diagnostic.Warning ~rule:"ir/vcall-all-zero"
+              "all %d vcall weights are zero: dispatch degenerates to the last callee"
+              (Array.length callees)
+          else
+            Array.iteri
+              (fun i (callee, w) ->
+                if w = 0.0 then
+                  at src Diagnostic.Warning ~rule:"ir/vcall-dead-callee"
+                    "callee %d (p%d) has zero weight and is never dispatched" i callee)
+              callees
+        end
+      | Term.Call _ | Term.Ret | Term.Halt -> ())
+    p.Proc.blocks;
+  (* Graph-shaped rules need every successor id in range. *)
+  if !all_in_range then begin
+    let seen = Array.make n false in
+    let rec visit b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter visit (Term.successors p.Proc.blocks.(b).Block.term)
+      end
+    in
+    visit Proc.entry;
+    Array.iteri
+      (fun b reached ->
+        if not reached then
+          at b Diagnostic.Error ~rule:"ir/unreachable-block"
+            "block (%s) unreachable from the entry block"
+            (Term.kind_name p.Proc.blocks.(b).Block.term))
+      seen;
+    (* Jump-only cycles: once entered, control revisits the same blocks
+       forever without a single branch decision.  Self-jumps are reported by
+       their own rule above. *)
+    let jump_succ b =
+      match p.Proc.blocks.(b).Block.term with Term.Jump d -> Some d | _ -> None
+    in
+    let state = Array.make n `White in
+    let rec walk path b =
+      match state.(b) with
+      | `Done -> ()
+      | `On_path ->
+        (* Reconstruct the cycle: the suffix of [path] up to [b]. *)
+        let rec suffix = function
+          | [] -> []
+          | x :: rest -> if x = b then [ x ] else x :: suffix rest
+        in
+        let members = suffix path in
+        if List.length members > 1 then
+          at b Diagnostic.Error ~rule:"ir/jump-cycle"
+            "jump-only cycle [%s]: control can never leave it"
+            (String.concat " -> "
+               (List.rev_map (fun x -> Printf.sprintf "b%d" x) members))
+      | `White -> begin
+        match jump_succ b with
+        | None -> state.(b) <- `Done
+        | Some d ->
+          state.(b) <- `On_path;
+          walk (b :: path) d;
+          state.(b) <- `Done
+      end
+    in
+    for b = 0 to n - 1 do
+      if state.(b) = `White && jump_succ b <> None then walk [] b
+    done
+  end;
+  List.rev !diags
+
+let check_program (program : Program.t) =
+  let n = Program.n_procs program in
+  let diags = ref [] in
+  let at ~proc ~block sev ~rule fmt =
+    let proc_name = (Program.proc program proc).Proc.name in
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diagnostic.severity = sev; rule;
+            loc = Diagnostic.Block { proc; proc_name; block }; message }
+          :: !diags)
+      fmt
+  in
+  let per_proc =
+    List.concat
+      (List.init n (fun pid -> check_proc ~proc_id:pid (Program.proc program pid)))
+  in
+  Program.iter_blocks program (fun pid b blk ->
+      let check_callee callee =
+        if callee < 0 || callee >= n then
+          at ~proc:pid ~block:b Diagnostic.Error ~rule:"ir/dangling-callee"
+            "callee p%d out of range (program has %d procedures)" callee n
+      in
+      match blk.Block.term with
+      | Term.Call { callee; _ } -> check_callee callee
+      | Term.Vcall { callees; _ } -> Array.iter (fun (c, _) -> check_callee c) callees
+      | Term.Halt ->
+        if pid <> program.Program.main then
+          at ~proc:pid ~block:b Diagnostic.Error ~rule:"ir/halt-outside-main"
+            "Halt outside the main procedure (main is p%d)" program.Program.main
+      | Term.Jump _ | Term.Cond _ | Term.Switch _ | Term.Ret -> ());
+  (* Call-graph reachability from main, following only in-range callees. *)
+  let reachable = Array.make n false in
+  let rec visit pid =
+    if pid >= 0 && pid < n && not reachable.(pid) then begin
+      reachable.(pid) <- true;
+      Array.iter
+        (fun (blk : Block.t) ->
+          match blk.Block.term with
+          | Term.Call { callee; _ } -> visit callee
+          | Term.Vcall { callees; _ } -> Array.iter (fun (c, _) -> visit c) callees
+          | _ -> ())
+        (Program.proc program pid).Proc.blocks
+    end
+  in
+  visit program.Program.main;
+  Array.iteri
+    (fun pid r ->
+      if not r then
+        diags :=
+          Diagnostic.make Diagnostic.Warning ~rule:"ir/unreachable-proc"
+            ~loc:
+              (Diagnostic.Proc
+                 { proc = pid; proc_name = (Program.proc program pid).Proc.name })
+            "procedure is never called (unreachable in the call graph from main p%d)"
+            program.Program.main
+          :: !diags)
+    reachable;
+  per_proc @ List.rev !diags

@@ -1,0 +1,233 @@
+open Ba_ir
+open Ba_layout
+
+(* [err] takes an already-formatted message: a lambda-bound printer cannot
+   be polymorphic in its format string. *)
+let check_cont ~err ~check_range ~pos ~next_exists i next cont =
+  match cont with
+  | Linear.Fall ->
+    if not next_exists then
+      err ~rule:"linear/off-end"
+        "last layout block's call continuation falls through off the end"
+    else if pos.(next) <> i + 1 then
+      err ~rule:"linear/fallthrough-mismatch"
+        (Printf.sprintf
+           "call continuation falls through to position %d but b%d is at position %d"
+           (i + 1) next pos.(next))
+  | Linear.Jump_to t ->
+    if check_range "call continuation jump" t then begin
+      if t <> pos.(next) then
+        err ~rule:"linear/fallthrough-mismatch"
+          (Printf.sprintf
+             "call continuation jumps to position %d but b%d is at position %d" t
+             next pos.(next));
+      if t = i + 1 then
+        err ~rule:"linear/redundant-jump"
+          (Printf.sprintf "call continuation jump to the adjacent position %d" t)
+    end
+
+let check ~proc_id (linear : Linear.t) =
+  let p = linear.Linear.proc in
+  let decision = linear.Linear.decision in
+  let proc_name = p.Proc.name in
+  match Decision.validate p decision with
+  | Error e ->
+    [
+      Diagnostic.make Diagnostic.Error ~rule:"linear/invalid-decision"
+        ~loc:(Diagnostic.Proc { proc = proc_id; proc_name })
+        "cannot check lowering against an invalid decision: %s" e;
+    ]
+  | Ok () ->
+    let n = Proc.n_blocks p in
+    let pos = Decision.position decision in
+    let diags = ref [] in
+    let at i sev ~rule fmt =
+      Printf.ksprintf
+        (fun message ->
+          diags :=
+            { Diagnostic.severity = sev; rule;
+              loc = Diagnostic.Layout_pos { proc = proc_id; proc_name; pos = i };
+              message }
+            :: !diags)
+        fmt
+    in
+    if Array.length linear.Linear.blocks <> n then
+      at 0 Diagnostic.Error ~rule:"linear/block-count"
+        "%d layout blocks for a %d-block procedure"
+        (Array.length linear.Linear.blocks)
+        n
+    else
+      Array.iteri
+        (fun i (lb : Linear.lblock) ->
+          let b = lb.Linear.src in
+          if b <> decision.Decision.order.(i) then
+            at i Diagnostic.Error ~rule:"linear/src-mismatch"
+              "layout block carries source b%d but the decision places b%d here" b
+              decision.Decision.order.(i);
+          let next_exists = i + 1 < n in
+          let in_range t = t >= 0 && t < n in
+          let check_range what t =
+            if not (in_range t) then begin
+              at i Diagnostic.Error ~rule:"linear/position-range"
+                "%s targets layout position %d, out of range [0, %d)" what t n;
+              false
+            end
+            else true
+          in
+          let term = (Proc.block p b).Block.term in
+          let kind_mismatch () =
+            at i Diagnostic.Error ~rule:"linear/terminator-kind"
+              "lowered terminator does not correspond to the IR terminator (%s) of b%d"
+              (Term.kind_name term) b
+          in
+          match (lb.Linear.term, term) with
+          | Linear.Lnone, Term.Jump d ->
+            if not next_exists then
+              at i Diagnostic.Error ~rule:"linear/off-end"
+                "last layout block falls through off the end of the procedure"
+            else if pos.(d) <> i + 1 then
+              at i Diagnostic.Error ~rule:"linear/fallthrough-mismatch"
+                "falls through to position %d but the jump target b%d is at position \
+                 %d"
+                (i + 1) d pos.(d)
+          | Linear.Ljump t, Term.Jump d ->
+            if check_range "unconditional jump" t then begin
+              if t <> pos.(d) then
+                at i Diagnostic.Error ~rule:"linear/fallthrough-mismatch"
+                  "jump targets position %d but b%d is at position %d" t d pos.(d);
+              if t = i + 1 then
+                at i Diagnostic.Error ~rule:"linear/redundant-jump"
+                  "jump to the adjacent position %d; lowering should fall through"
+                  t
+            end
+          | Linear.Lcond { taken_pos; taken_on; inserted_jump }, Term.Cond { on_true; on_false; _ }
+            -> begin
+            let pt = pos.(on_true) and pf = pos.(on_false) in
+            let forced = decision.Decision.neither.(b) in
+            (match inserted_jump with
+            | None -> begin
+              if forced <> None then
+                at i Diagnostic.Error ~rule:"linear/forced-ignored"
+                  "decision forces the neither-edge lowering of b%d but no jump was \
+                   inserted"
+                  b;
+              if not next_exists then
+                at i Diagnostic.Error ~rule:"linear/off-end"
+                  "last layout block's conditional falls through off the end";
+              if check_range "conditional branch" taken_pos then begin
+                let expect_taken, expect_fall, fall_block =
+                  if taken_on then (pt, pf, on_false) else (pf, pt, on_true)
+                in
+                if taken_pos <> expect_taken then
+                  at i Diagnostic.Error ~rule:"linear/cond-edges"
+                    "taken-when-%b branch targets position %d but b%d is at position \
+                     %d"
+                    taken_on taken_pos
+                    (if taken_on then on_true else on_false)
+                    expect_taken;
+                if next_exists && expect_fall <> i + 1 then
+                  at i Diagnostic.Error ~rule:"linear/fallthrough-mismatch"
+                    "fall-through leg resolves to b%d at position %d, not the \
+                     adjacent position %d"
+                    fall_block expect_fall (i + 1)
+              end
+            end
+            | Some j ->
+              if
+                check_range "conditional branch" taken_pos
+                && check_range "inserted jump" j
+              then begin
+                let expect_taken, expect_jump, jump_block =
+                  if taken_on then (pt, pf, on_false) else (pf, pt, on_true)
+                in
+                if taken_pos <> expect_taken || j <> expect_jump then
+                  at i Diagnostic.Error ~rule:"linear/cond-edges"
+                    "taken-when-%b branch @%d with inserted jump @%d does not cover \
+                     the edges to b%d@%d and b%d@%d"
+                    taken_on taken_pos j on_true pt on_false pf
+                else begin
+                  if forced = None && (pt = i + 1 || pf = i + 1) then
+                    at i Diagnostic.Error ~rule:"linear/jump-not-demanded"
+                      "jump inserted although b%d is adjacent and the decision does \
+                       not force the neither-edge lowering"
+                      (if pt = i + 1 then on_true else on_false);
+                  (match forced with
+                  | Some Decision.Jump_on_true when jump_block <> on_true ->
+                    at i Diagnostic.Error ~rule:"linear/forced-leg"
+                      "decision routes the true leg through the inserted jump but \
+                       the false leg (b%d) jumps"
+                      on_false
+                  | Some Decision.Jump_on_false when jump_block <> on_false ->
+                    at i Diagnostic.Error ~rule:"linear/forced-leg"
+                      "decision routes the false leg through the inserted jump but \
+                       the true leg (b%d) jumps"
+                      on_true
+                  | _ -> ());
+                  if j = i + 1 then
+                    at i Diagnostic.Error ~rule:"linear/redundant-jump"
+                      "inserted jump to the adjacent position %d" j
+                end
+              end)
+          end
+          | Linear.Lswitch { positions; weights }, Term.Switch { targets } ->
+            if
+              Array.length positions <> Array.length targets
+              || Array.length weights <> Array.length targets
+            then
+              at i Diagnostic.Error ~rule:"linear/switch-mismatch"
+                "switch lowered with %d positions / %d weights for %d IR targets"
+                (Array.length positions) (Array.length weights)
+                (Array.length targets)
+            else
+              Array.iteri
+                (fun k (d, w) ->
+                  if check_range (Printf.sprintf "switch case %d" k) positions.(k)
+                  then begin
+                    if positions.(k) <> pos.(d) then
+                      at i Diagnostic.Error ~rule:"linear/switch-mismatch"
+                        "case %d targets position %d but b%d is at position %d" k
+                        positions.(k) d pos.(d);
+                    if weights.(k) <> w then
+                      at i Diagnostic.Error ~rule:"linear/switch-mismatch"
+                        "case %d carries weight %g but the IR says %g" k weights.(k)
+                        w
+                  end)
+                targets
+          | Linear.Lcall { callee; cont }, Term.Call { callee = ir_callee; next } ->
+            if callee <> ir_callee then
+              at i Diagnostic.Error ~rule:"linear/call-mismatch"
+                "call lowered to p%d but the IR calls p%d" callee ir_callee;
+            check_cont
+              ~err:(fun ~rule m -> at i Diagnostic.Error ~rule "%s" m)
+              ~check_range ~pos ~next_exists i next cont
+          | ( Linear.Lvcall { callees; weights; cont },
+              Term.Vcall { callees = ir_callees; next } ) ->
+            if
+              Array.length callees <> Array.length ir_callees
+              || Array.length weights <> Array.length ir_callees
+            then
+              at i Diagnostic.Error ~rule:"linear/call-mismatch"
+                "vcall lowered with %d callees / %d weights for %d IR callees"
+                (Array.length callees) (Array.length weights)
+                (Array.length ir_callees)
+            else
+              Array.iteri
+                (fun k (c, w) ->
+                  if callees.(k) <> c then
+                    at i Diagnostic.Error ~rule:"linear/call-mismatch"
+                      "vcall callee %d is p%d but the IR says p%d" k callees.(k) c;
+                  if weights.(k) <> w then
+                    at i Diagnostic.Error ~rule:"linear/call-mismatch"
+                      "vcall callee %d carries weight %g but the IR says %g" k
+                      weights.(k) w)
+                ir_callees;
+            check_cont
+              ~err:(fun ~rule m -> at i Diagnostic.Error ~rule "%s" m)
+              ~check_range ~pos ~next_exists i next cont
+          | Linear.Lret, Term.Ret | Linear.Lhalt, Term.Halt -> ()
+          | ( ( Linear.Lnone | Linear.Ljump _ | Linear.Lcond _ | Linear.Lswitch _
+              | Linear.Lcall _ | Linear.Lvcall _ | Linear.Lret | Linear.Lhalt ),
+              _ ) ->
+            kind_mismatch ())
+        linear.Linear.blocks;
+    List.rev !diags

@@ -1,0 +1,129 @@
+open Ba_ir
+
+type deficit = {
+  loc : Diagnostic.location;
+  rule : string;
+  amount : int;
+  visits : int;
+  lower : int;
+}
+
+let check (profile : Ba_cfg.Profile.t) =
+  let program = Ba_cfg.Profile.program profile in
+  let n_procs = Program.n_procs program in
+  let diags = ref [] in
+  let deficits = ref [] in
+  let block_loc pid b =
+    Diagnostic.Block
+      { proc = pid; proc_name = (Program.proc program pid).Proc.name; block = b }
+  in
+  let at pid b sev ~rule fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diagnostic.severity = sev; rule; loc = block_loc pid b; message }
+          :: !diags)
+      fmt
+  in
+  (* Inter-procedural call counts: how often each procedure is entered by
+     direct calls (exact) and how often it may be entered by virtual
+     dispatch (upper bound; per-callee draws are not in the profile). *)
+  let direct_calls = Array.make n_procs 0 in
+  let vcall_possible = Array.make n_procs 0 in
+  Program.iter_blocks program (fun pid b (blk : Block.t) ->
+      let site_visits = Ba_cfg.Profile.visits profile pid b in
+      match blk.Block.term with
+      | Term.Call { callee; _ } ->
+        direct_calls.(callee) <- direct_calls.(callee) + site_visits
+      | Term.Vcall { callees; _ } ->
+        let distinct = List.sort_uniq compare (Array.to_list (Array.map fst callees)) in
+        List.iter
+          (fun c -> vcall_possible.(c) <- vcall_possible.(c) + site_visits)
+          distinct
+      | _ -> ());
+  for pid = 0 to n_procs - 1 do
+    let proc = Program.proc program pid in
+    let n = Proc.n_blocks proc in
+    (* Exact incoming traversals per block, and the call-continuation part
+       that only bounds from above. *)
+    let exact_in = Array.make n 0 in
+    let call_in = Array.make n 0 in
+    Array.iteri
+      (fun src (blk : Block.t) ->
+        let visits = Ba_cfg.Profile.visits profile pid src in
+        if visits < 0 then
+          at pid src Diagnostic.Error ~rule:"profile/negative-count"
+            "negative visit count %d" visits;
+        match blk.Block.term with
+        | Term.Jump d -> exact_in.(d) <- exact_in.(d) + visits
+        | Term.Cond { on_true; on_false; _ } ->
+          let n_true, n_false = Ba_cfg.Profile.cond_counts profile pid src in
+          if n_true < 0 || n_false < 0 then
+            at pid src Diagnostic.Error ~rule:"profile/negative-count"
+              "negative conditional resolution counts (%d true, %d false)" n_true
+              n_false;
+          if n_true + n_false <> visits then
+            at pid src Diagnostic.Error ~rule:"profile/cond-resolution"
+              "conditional resolved %d times (%d true + %d false) but visited %d times"
+              (n_true + n_false) n_true n_false visits;
+          exact_in.(on_true) <- exact_in.(on_true) + n_true;
+          exact_in.(on_false) <- exact_in.(on_false) + n_false
+        | Term.Switch { targets } ->
+          let cases = Ba_cfg.Profile.switch_counts profile pid src in
+          Array.iteri
+            (fun i c ->
+              if c < 0 then
+                at pid src Diagnostic.Error ~rule:"profile/negative-count"
+                  "negative count %d on switch case %d" c i)
+            cases;
+          let total = Array.fold_left ( + ) 0 cases in
+          if total <> visits then
+            at pid src Diagnostic.Error ~rule:"profile/switch-resolution"
+              "switch resolved %d times across its cases but visited %d times" total
+              visits;
+          Array.iteri
+            (fun i c ->
+              let d = fst targets.(i) in
+              exact_in.(d) <- exact_in.(d) + c)
+            cases
+        | Term.Call { next; _ } | Term.Vcall { next; _ } ->
+          call_in.(next) <- call_in.(next) + visits
+        | Term.Ret | Term.Halt -> ())
+      proc.Proc.blocks;
+    for b = 0 to n - 1 do
+      let visits = Ba_cfg.Profile.visits profile pid b in
+      let is_entry = b = Proc.entry in
+      let rule = if is_entry then "profile/entry-count" else "profile/flow-conservation" in
+      let lower = exact_in.(b) + (if is_entry then direct_calls.(pid) else 0) in
+      let upper =
+        lower + call_in.(b)
+        + (if is_entry then vcall_possible.(pid) else 0)
+        + if is_entry && pid = program.Program.main then 1 else 0
+      in
+      if visits > upper then
+        at pid b Diagnostic.Error ~rule
+          "visited %d times but incoming flow explains at most %d (exact in-flow \
+           %d, call continuations %d%s)"
+          visits upper exact_in.(b) call_in.(b)
+          (if is_entry then
+             Printf.sprintf ", direct calls %d, possible vcalls %d" direct_calls.(pid)
+               vcall_possible.(pid)
+           else "")
+      else if visits < lower then
+        deficits :=
+          { loc = block_loc pid b; rule; amount = lower - visits; visits; lower }
+          :: !deficits
+    done
+  done;
+  (* At most one transfer can be in flight when the step budget cuts a run
+     short, so a single missing visit program-wide is legal. *)
+  let total_deficit = List.fold_left (fun acc d -> acc + d.amount) 0 !deficits in
+  if total_deficit > 1 then
+    List.iter
+      (fun d ->
+        diags :=
+          Diagnostic.make Diagnostic.Error ~rule:d.rule ~loc:d.loc
+            "visited %d times but incoming flow requires at least %d" d.visits d.lower
+          :: !diags)
+      !deficits;
+  List.rev !diags

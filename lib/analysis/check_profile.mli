@@ -1,0 +1,23 @@
+(** Stage 2: profile flow conservation.
+
+    A profile collected by the interpreter must obey Kirchhoff-style
+    conservation laws: a conditional's true/false resolutions sum to its
+    visit count, a switch's per-case counts sum to its visit count, and
+    every block's visit count is explained by the traversals of its
+    incoming edges (plus, for procedure entry blocks, the calls into the
+    procedure; plus, for main's entry, the program start).
+
+    Call-continuation edges only bound visits from above (a callee that
+    never returns — budget truncation mid-call — legally leaves the
+    continuation unvisited), and vcall dispatch counts are not recorded
+    per-callee, so callee entries get an upper bound from the dispatching
+    sites' visit counts.  Exactly one control transfer program-wide may be
+    in flight when the step budget truncates a run, so a total visit
+    deficit of one across the whole program is tolerated; anything beyond
+    that is a conservation error.
+
+    Rules: [profile/negative-count], [profile/cond-resolution],
+    [profile/switch-resolution], [profile/flow-conservation],
+    [profile/entry-count]. *)
+
+val check : Ba_cfg.Profile.t -> Diagnostic.t list

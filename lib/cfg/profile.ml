@@ -47,6 +47,12 @@ let cond_counts t p b =
     (c.n_true, c.n_false)
   | _ -> invalid_arg "Profile.cond_counts: not a conditional block"
 
+let switch_counts t p b =
+  let blk = Proc.block (Program.proc t.program p) b in
+  match blk.Block.term with
+  | Term.Switch _ -> Array.copy t.counts.(p).(b).cases
+  | _ -> invalid_arg "Profile.switch_counts: not a switch block"
+
 let edge_weight t p (e : Edge.t) =
   let c = t.counts.(p).(e.src) in
   match e.kind with

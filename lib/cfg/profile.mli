@@ -33,6 +33,10 @@ val cond_counts : t -> Ba_ir.Term.proc_id -> Ba_ir.Term.block_id -> int * int
 (** [(times condition held, times it failed)].  Raises [Invalid_argument] if
     the block is not a conditional. *)
 
+val switch_counts : t -> Ba_ir.Term.proc_id -> Ba_ir.Term.block_id -> int array
+(** Per-case resolution counts of a switch block, indexed like its target
+    array.  Raises [Invalid_argument] if the block is not a switch. *)
+
 val edge_weight : t -> Ba_ir.Term.proc_id -> Edge.t -> int
 (** Traversal count of one edge.  [Flow] edges are traversed once per block
     visit; [Case] edges use the recorded per-case counts. *)

@@ -33,38 +33,55 @@ let validate p =
   try
     Array.iteri
       (fun src blk ->
+        (* Every message names the offending block and its terminator kind,
+           so downstream consumers (lint diagnostics, CLI errors) can locate
+           the fault without re-parsing the procedure. *)
+        let kind = Term.kind_name blk.Block.term in
         let bad b =
           match check_id src b with
           | Some (src, b) ->
-            raise (Bad (Printf.sprintf "block %d: successor %d out of range" src b))
+            raise
+              (Bad
+                 (Printf.sprintf "block %d (%s): successor %d out of range" src kind b))
           | None -> ()
         in
         List.iter bad (Term.successors blk.Block.term);
         (match blk.Block.term with
         | Term.Cond { behavior; on_true; on_false } -> begin
           if on_true = on_false then
-            raise (Bad (Printf.sprintf "block %d: conditional with equal targets" src));
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "block %d (cond): conditional with equal targets (both b%d)" src
+                    on_true));
           match Behavior.validate behavior with
           | Ok () -> ()
-          | Error e -> raise (Bad (Printf.sprintf "block %d: %s" src e))
+          | Error e -> raise (Bad (Printf.sprintf "block %d (cond): %s" src e))
         end
         | Term.Switch { targets } ->
           if Array.length targets = 0 then
-            raise (Bad (Printf.sprintf "block %d: empty switch" src));
+            raise (Bad (Printf.sprintf "block %d (switch): empty switch" src));
           Array.iter
-            (fun (_, w) ->
+            (fun (d, w) ->
               if w < 0.0 then
-                raise (Bad (Printf.sprintf "block %d: negative switch weight" src)))
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "block %d (switch): negative weight %g on target b%d" src w d)))
             targets;
           if Array.for_all (fun (_, w) -> w = 0.0) targets then
-            raise (Bad (Printf.sprintf "block %d: all-zero switch weights" src))
+            raise (Bad (Printf.sprintf "block %d (switch): all-zero switch weights" src))
         | Term.Vcall { callees; _ } ->
           if Array.length callees = 0 then
-            raise (Bad (Printf.sprintf "block %d: empty vcall" src));
+            raise (Bad (Printf.sprintf "block %d (vcall): empty vcall" src));
           Array.iter
-            (fun (_, w) ->
+            (fun (callee, w) ->
               if w < 0.0 then
-                raise (Bad (Printf.sprintf "block %d: negative vcall weight" src)))
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "block %d (vcall): negative weight %g on callee p%d" src w
+                        callee)))
             callees
         | Term.Jump _ | Term.Call _ | Term.Ret | Term.Halt -> ()))
       p.blocks;
@@ -78,7 +95,11 @@ let validate p =
     in
     visit entry;
     (match Array.to_list seen |> List.mapi (fun i s -> (i, s)) |> List.find_opt (fun (_, s) -> not s) with
-    | Some (i, _) -> raise (Bad (Printf.sprintf "block %d unreachable from entry" i))
+    | Some (i, _) ->
+      raise
+        (Bad
+           (Printf.sprintf "block %d (%s) unreachable from entry" i
+              (Term.kind_name p.blocks.(i).Block.term)))
     | None -> ());
     Ok ()
   with Bad msg -> err "%s" msg

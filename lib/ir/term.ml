@@ -28,6 +28,15 @@ let successors = function
   | Call { next; _ } | Vcall { next; _ } -> [ next ]
   | Ret | Halt -> []
 
+let kind_name = function
+  | Jump _ -> "jump"
+  | Cond _ -> "cond"
+  | Switch _ -> "switch"
+  | Call _ -> "call"
+  | Vcall _ -> "vcall"
+  | Ret -> "ret"
+  | Halt -> "halt"
+
 let is_branch_site = function
   | Cond _ | Switch _ | Call _ | Vcall _ | Ret -> true
   | Jump _ | Halt -> false
