@@ -212,7 +212,32 @@ let disasm_cmd name algo arch proc_id max_steps =
   in
   print_string (Ba_isa.Disasm.side_by_side ~original ~aligned proc_id)
 
-let lint_cmd workload algo arch strict max_steps =
+type output_format = Table | Json
+
+let format_conv =
+  let parse = function
+    | "table" | "ascii" -> Ok Table
+    | "json" -> Ok Json
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (table or json)" s))
+  in
+  let print ppf f = Fmt.string ppf (match f with Table -> "table" | Json -> "json") in
+  Arg.conv (parse, print)
+
+let format_arg =
+  let doc = "Output format: the default ASCII table, or json." in
+  Arg.(value & opt format_conv Table & info [ "format" ] ~doc)
+
+let diag_table_columns =
+  Ba_util.Ascii_table.
+    [
+      column ~align:Left "workload"; column ~align:Left "severity";
+      column ~align:Left "rule"; column ~align:Left "location";
+      column ~align:Left "message";
+    ]
+
+let plural n = if n = 1 then "" else "s"
+
+let lint_cmd workload algo arch strict format max_steps =
   let workloads =
     match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
   in
@@ -224,6 +249,7 @@ let lint_cmd workload algo arch strict max_steps =
   in
   let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
   let rows = ref [] in
+  let json_workloads = ref [] in
   List.iter
     (fun ((w : Ba_workloads.Spec.t), report) ->
       let diags = Ba_analysis.Run.diagnostics report in
@@ -231,47 +257,184 @@ let lint_cmd workload algo arch strict max_steps =
       total_errors := !total_errors + e;
       total_warnings := !total_warnings + warn;
       total_infos := !total_infos + i;
-      let stages =
-        String.concat ","
-          (List.map
-             (fun s ->
-               Ba_analysis.Run.stage_name s
-               ^ if Ba_analysis.Run.ran report s then "" else "(skipped)")
-             Ba_analysis.Run.all_stages)
-      in
-      Printf.printf "%-12s %d error%s, %d warning%s, %d info  [%s]\n"
-        w.Ba_workloads.Spec.name e
-        (if e = 1 then "" else "s")
-        warn
-        (if warn = 1 then "" else "s")
-        i stages;
-      List.iter
-        (fun d -> rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows)
-        diags)
+      match format with
+      | Json ->
+        let open Ba_util.Json in
+        json_workloads :=
+          Obj
+            [
+              ("name", String w.Ba_workloads.Spec.name);
+              ("errors", Int e); ("warnings", Int warn); ("infos", Int i);
+              ( "stages",
+                List
+                  (List.map
+                     (fun s ->
+                       Obj
+                         [
+                           ("stage", String (Ba_analysis.Run.stage_name s));
+                           ("ran", Bool (Ba_analysis.Run.ran report s));
+                         ])
+                     Ba_analysis.Run.all_stages) );
+              ("diagnostics", List (List.map Ba_analysis.Diagnostic.to_json diags));
+            ]
+          :: !json_workloads
+      | Table ->
+        let stages =
+          String.concat ","
+            (List.map
+               (fun s ->
+                 Ba_analysis.Run.stage_name s
+                 ^ if Ba_analysis.Run.ran report s then "" else "(skipped)")
+               Ba_analysis.Run.all_stages)
+        in
+        Printf.printf "%-12s %d error%s, %d warning%s, %d info  [%s]\n"
+          w.Ba_workloads.Spec.name e (plural e) warn (plural warn) i stages;
+        List.iter
+          (fun d -> rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows)
+          diags)
     reports;
-  if !rows <> [] then begin
-    let columns =
-      Ba_util.Ascii_table.
-        [
-          column ~align:Left "workload"; column ~align:Left "severity";
-          column ~align:Left "rule"; column ~align:Left "location";
-          column ~align:Left "message";
-        ]
-    in
-    print_newline ();
-    print_string (Ba_util.Ascii_table.render ~columns ~rows:(List.rev !rows))
-  end;
-  Printf.printf "\nlinted %d workload%s (algorithm %s, cost model %s): %d error%s, %d warning%s, %d info\n"
-    (List.length reports)
-    (if List.length reports = 1 then "" else "s")
-    (Ba_core.Align.algo_name algo)
-    (Ba_core.Cost_model.arch_name arch)
-    !total_errors
-    (if !total_errors = 1 then "" else "s")
-    !total_warnings
-    (if !total_warnings = 1 then "" else "s")
-    !total_infos;
+  (match format with
+  | Json ->
+    let open Ba_util.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("command", String "lint");
+              ("algo", String (Ba_core.Align.algo_name algo));
+              ("arch", String (Ba_core.Cost_model.arch_name arch));
+              ( "totals",
+                Obj
+                  [
+                    ("errors", Int !total_errors); ("warnings", Int !total_warnings);
+                    ("infos", Int !total_infos);
+                  ] );
+              ("workloads", List (List.rev !json_workloads));
+            ]))
+  | Table ->
+    if !rows <> [] then begin
+      print_newline ();
+      print_string
+        (Ba_util.Ascii_table.render ~columns:diag_table_columns ~rows:(List.rev !rows))
+    end;
+    Printf.printf
+      "\nlinted %d workload%s (algorithm %s, cost model %s): %d error%s, %d warning%s, %d info\n"
+      (List.length reports)
+      (plural (List.length reports))
+      (Ba_core.Align.algo_name algo)
+      (Ba_core.Cost_model.arch_name arch)
+      !total_errors (plural !total_errors) !total_warnings (plural !total_warnings)
+      !total_infos);
   if !total_errors > 0 || (strict && !total_warnings > 0) then exit 1
+
+(* Info findings (the optimality audit) can be numerous on purpose-poor
+   layouts like orig; the table view caps them per workload so errors and
+   warnings stay visible.  JSON always carries everything. *)
+let max_table_infos = 10
+
+let verify_cmd workload algo arch strict no_audit format max_steps =
+  let workloads =
+    match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
+  in
+  let results =
+    List.map
+      (fun (w : Ba_workloads.Spec.t) ->
+        ( w,
+          Ba_verify.Run.verify_pipeline ~arch ~max_steps ~audit:(not no_audit)
+            ~algo
+            (w.Ba_workloads.Spec.build ()) ))
+      workloads
+  in
+  let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
+  let rows = ref [] in
+  let json_workloads = ref [] in
+  List.iter
+    (fun ((w : Ba_workloads.Spec.t), result) ->
+      let diags = Ba_verify.Run.diagnostics result in
+      let e, warn, i = Ba_analysis.Diagnostic.count diags in
+      total_errors := !total_errors + e;
+      total_warnings := !total_warnings + warn;
+      total_infos := !total_infos + i;
+      match format with
+      | Json ->
+        let open Ba_util.Json in
+        json_workloads :=
+          Obj
+            [
+              ("name", String w.Ba_workloads.Spec.name);
+              ("verified", Bool result.Ba_verify.Run.verified);
+              ("errors", Int e); ("warnings", Int warn); ("infos", Int i);
+              ( "certificates",
+                List
+                  (List.map Ba_verify.Certificate.to_json
+                     result.Ba_verify.Run.certificates) );
+              ("diagnostics", List (List.map Ba_analysis.Diagnostic.to_json diags));
+            ]
+          :: !json_workloads
+      | Table ->
+        Printf.printf
+          "%-12s %s  %d certificate%s, %d error%s, %d warning%s, %d improvable \
+           site%s\n"
+          w.Ba_workloads.Spec.name
+          (if result.Ba_verify.Run.verified then "verified" else "NOT VERIFIED")
+          (List.length result.Ba_verify.Run.certificates)
+          (plural (List.length result.Ba_verify.Run.certificates))
+          e (plural e) warn (plural warn) i (plural i);
+        let shown = ref 0 and hidden = ref 0 in
+        List.iter
+          (fun d ->
+            if d.Ba_analysis.Diagnostic.severity <> Ba_analysis.Diagnostic.Info
+            then rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows
+            else if !shown < max_table_infos then begin
+              incr shown;
+              rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows
+            end
+            else incr hidden)
+          diags;
+        if !hidden > 0 then
+          rows :=
+            [ w.Ba_workloads.Spec.name; "info"; "..."; "..."
+            ; Printf.sprintf "(%d more info findings; use --format=json for all)"
+                !hidden ]
+            :: !rows)
+    results;
+  (match format with
+  | Json ->
+    let open Ba_util.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("command", String "verify");
+              ("algo", String (Ba_core.Align.algo_name algo));
+              ("arch", String (Ba_core.Cost_model.arch_name arch));
+              ( "totals",
+                Obj
+                  [
+                    ("errors", Int !total_errors); ("warnings", Int !total_warnings);
+                    ("infos", Int !total_infos);
+                  ] );
+              ("workloads", List (List.rev !json_workloads));
+            ]))
+  | Table ->
+    if !rows <> [] then begin
+      print_newline ();
+      print_string
+        (Ba_util.Ascii_table.render ~columns:diag_table_columns ~rows:(List.rev !rows))
+    end;
+    Printf.printf
+      "\nverified %d workload%s (algorithm %s, cost model %s): %d error%s, %d \
+       warning%s, %d info\n"
+      (List.length results)
+      (plural (List.length results))
+      (Ba_core.Align.algo_name algo)
+      (Ba_core.Cost_model.arch_name arch)
+      !total_errors (plural !total_errors) !total_warnings (plural !total_warnings)
+      !total_infos);
+  let unverified =
+    List.exists (fun (_, r) -> not r.Ba_verify.Run.verified) results
+  in
+  if !total_errors > 0 || unverified || (strict && !total_warnings > 0) then exit 1
 
 let list_cmd () =
   let columns =
@@ -347,26 +510,42 @@ let () =
         $ Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id.")
         $ max_steps_arg)
   in
+  let workload_opt_arg =
+    let doc = "Workload to check; omit to check every built-in workload." in
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Treat warnings as fatal (non-zero exit)." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
   let lint =
-    let workload_opt_arg =
-      let doc = "Workload to lint; omit to lint every built-in workload." in
-      Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc)
-    in
-    let strict_arg =
-      let doc = "Treat warnings as fatal (non-zero exit)." in
-      Arg.(value & flag & info [ "strict" ] ~doc)
-    in
     Cmd.v
       (Cmd.info "lint"
          ~doc:
            "Run the five-stage static checker (IR, profile, decision, linear, \
             image) over the whole alignment pipeline; exits non-zero on any error.")
       Term.(const lint_cmd $ workload_opt_arg $ algo_arg $ arch_arg $ strict_arg
-            $ max_steps_arg)
+            $ format_arg $ max_steps_arg)
+  in
+  let verify =
+    let no_audit_arg =
+      let doc = "Skip the optimality audit (bisimulation and certification only)." in
+      Arg.(value & flag & info [ "no-audit" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Lint, then prove each lowered layout equivalent to its source CFG \
+            (translation validation), certify its expected cost on every \
+            architecture against an independent recomputation, and audit it \
+            for locally improvable decisions; exits non-zero unless every \
+            workload verifies.")
+      Term.(const verify_cmd $ workload_opt_arg $ algo_arg $ arch_arg
+            $ strict_arg $ no_audit_arg $ format_arg $ max_steps_arg)
   in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
-          [ run; list; dump; hotspots; record; replay; disasm; lint ]))
+          [ run; list; dump; hotspots; record; replay; disasm; lint; verify ]))

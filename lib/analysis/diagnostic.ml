@@ -66,3 +66,32 @@ let pp ppf d =
 
 let to_row d =
   [ severity_name d.severity; d.rule; location_string d.loc; d.message ]
+
+let location_to_json loc =
+  let open Ba_util.Json in
+  match loc with
+  | Program -> Obj [ ("kind", String "program") ]
+  | Proc { proc; proc_name } ->
+    Obj [ ("kind", String "proc"); ("proc", Int proc); ("proc_name", String proc_name) ]
+  | Block { proc; proc_name; block } ->
+    Obj
+      [
+        ("kind", String "block"); ("proc", Int proc);
+        ("proc_name", String proc_name); ("block", Int block);
+      ]
+  | Layout_pos { proc; proc_name; pos } ->
+    Obj
+      [
+        ("kind", String "layout_pos"); ("proc", Int proc);
+        ("proc_name", String proc_name); ("pos", Int pos);
+      ]
+
+let to_json d =
+  let open Ba_util.Json in
+  Obj
+    [
+      ("severity", String (severity_name d.severity));
+      ("rule", String d.rule);
+      ("location", location_to_json d.loc);
+      ("message", String d.message);
+    ]

@@ -50,3 +50,9 @@ val pp : Format.formatter -> t -> unit
 val to_row : t -> string list
 (** [[severity; rule; location; message]] — one table row for
     {!Ba_util.Ascii_table.render}. *)
+
+val location_to_json : location -> Ba_util.Json.t
+
+val to_json : t -> Ba_util.Json.t
+(** Machine-readable form, shared by [lint --format=json] and
+    [verify --format=json]. *)

@@ -30,6 +30,18 @@ val evaluate :
     semantic per-block numbers, so the same profile scores every layout of
     the procedure. *)
 
+val per_block :
+  arch:Cost_model.arch ->
+  ?table:Cost_model.table ->
+  visits:(Ba_ir.Term.block_id -> int) ->
+  cond_counts:(Ba_ir.Term.block_id -> int * int) ->
+  Ba_layout.Linear.t ->
+  float array
+(** Branch cycles (straight-line component excluded) attributed to each
+    layout position.  Sums to {!branch_cost}; the static cost certifier
+    cross-checks its independent recomputation against this position by
+    position, so a divergence is localised to one site. *)
+
 val branch_cost :
   arch:Cost_model.arch ->
   ?table:Cost_model.table ->

@@ -15,6 +15,18 @@ let identity p = of_order (Array.init (Ba_ir.Proc.n_blocks p) Fun.id)
 
 let of_chains ?neither chains = of_order ?neither (Array.of_list (List.concat chains))
 
+let swap_positions t i j =
+  let order = Array.copy t.order in
+  let tmp = order.(i) in
+  order.(i) <- order.(j);
+  order.(j) <- tmp;
+  { order; neither = Array.copy t.neither }
+
+let with_neither t b leg =
+  let neither = Array.copy t.neither in
+  neither.(b) <- leg;
+  { order = Array.copy t.order; neither }
+
 let position t =
   let pos = Array.make (Array.length t.order) (-1) in
   Array.iteri (fun i b -> pos.(b) <- i) t.order;

@@ -38,6 +38,16 @@ val of_chains :
   ?neither:jump_leg option array -> Ba_ir.Term.block_id list list -> t
 (** Concatenate ordered chains into a block order. *)
 
+val swap_positions : t -> int -> int -> t
+(** Fresh decision with the blocks at two layout positions exchanged
+    (forced set unchanged).  Used by the optimality auditor to price
+    adjacent-swap variants; raises [Invalid_argument] on out-of-range
+    positions. *)
+
+val with_neither : t -> Ba_ir.Term.block_id -> jump_leg option -> t
+(** Fresh decision with one block's forced "align neither edge" choice
+    replaced. *)
+
 val position : t -> Ba_ir.Term.block_id array
 (** Inverse permutation: [(position d).(b)] is the position of block [b] in
     the layout. *)

@@ -34,6 +34,23 @@ let block_size lb = lb.insns + term_insns lb.term
 
 let code_size t = Array.fold_left (fun acc lb -> acc + block_size lb) 0 t.blocks
 
+let static_successors t i =
+  let n = Array.length t.blocks in
+  let next = if i + 1 < n then [ i + 1 ] else [] in
+  let in_range p = p >= 0 && p < n in
+  let succ =
+    match t.blocks.(i).term with
+    | Lnone -> next
+    | Ljump p -> [ p ]
+    | Lcond { taken_pos; inserted_jump; _ } ->
+      taken_pos :: (match inserted_jump with Some j -> [ j ] | None -> next)
+    | Lswitch { positions; _ } -> Array.to_list positions
+    | Lcall { cont; _ } | Lvcall { cont; _ } -> (
+      match cont with Fall -> next | Jump_to p -> [ p ])
+    | Lret | Lhalt -> []
+  in
+  List.sort_uniq compare (List.filter in_range succ)
+
 let branch_pc lb = lb.addr + lb.insns
 
 let inserted_jump_pc lb = lb.addr + lb.insns + 1

@@ -49,6 +49,13 @@ val block_size : lblock -> int
 
 val code_size : t -> int
 
+val static_successors : t -> int -> int list
+(** Layout positions control can transfer to from the block at the given
+    position, derived from the lowered terminator alone (fall-throughs,
+    branch targets, inserted jumps; call continuations but not callees).
+    Out-of-range targets are silently dropped — callers validating
+    structure must range-check separately.  Sorted, without duplicates. *)
+
 val branch_pc : lblock -> int
 (** Address of the terminator's (first) branch instruction.  Meaningless for
     [Lnone]/[Lhalt]. *)

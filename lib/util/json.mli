@@ -1,0 +1,24 @@
+(** Minimal JSON emission.
+
+    The diagnostic and certificate machinery needs machine-readable output
+    (`branch_align lint --format=json`, `branch_align verify --format=json`)
+    without pulling a JSON dependency into the build.  This is an emitter
+    only — values are constructed in code and rendered compactly; there is
+    deliberately no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats render as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-literal escaping of the content (no surrounding quotes). *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+open Ba_ir
+open Ba_layout
+open Ba_core
+open Ba_analysis
+
+(* Reconstruct a decision whose lowering reproduces the given linear code:
+   the order is the source permutation, and every conditional that carries
+   an inserted jump is pinned to its current jump leg (forcing is idempotent
+   where the jump was already demanded by non-adjacency). *)
+let canonical_decision (linear : Linear.t) =
+  let order = Array.map (fun lb -> lb.Linear.src) linear.Linear.blocks in
+  let neither = Array.make (Array.length order) None in
+  Array.iter
+    (fun (lb : Linear.lblock) ->
+      match lb.Linear.term with
+      | Linear.Lcond { taken_on; inserted_jump = Some _; _ } ->
+        neither.(lb.Linear.src) <-
+          Some (if taken_on then Decision.Jump_on_false else Decision.Jump_on_true)
+      | _ -> ())
+    linear.Linear.blocks;
+  Decision.of_order ~neither order
+
+let check ?(eps = 1e-6) ~arch ?table ~visits ~cond_counts ~proc_id
+    (linear : Linear.t) =
+  let p = linear.Linear.proc in
+  let proc_name = p.Proc.name in
+  let n = Array.length linear.Linear.blocks in
+  let base_decision = canonical_decision linear in
+  let cost_of decision =
+    let variant = Lower.lower ~cond_counts p decision in
+    Layout_cost.branch_cost ~arch ?table ~visits ~cond_counts variant
+  in
+  let base = cost_of base_decision in
+  let diags = ref [] in
+  let info pos ~rule fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diagnostic.severity = Diagnostic.Info; rule;
+            loc = Diagnostic.Layout_pos { proc = proc_id; proc_name; pos };
+            message }
+          :: !diags)
+      fmt
+  in
+  let arch_name = Cost_model.arch_name arch in
+  let saving decision = base -. cost_of decision in
+  (* Adjacent-chain swaps; position 0 is the pinned entry. *)
+  for i = 1 to n - 2 do
+    let gain = saving (Decision.swap_positions base_decision i (i + 1)) in
+    if gain > eps then
+      info i ~rule:"audit/adjacent-swap"
+        "swapping positions %d and %d (b%d and b%d) would save %.1f expected %s \
+         cycles"
+        i (i + 1)
+        base_decision.Decision.order.(i)
+        base_decision.Decision.order.(i + 1)
+        gain arch_name
+  done;
+  (* Per-conditional lowering moves. *)
+  Array.iteri
+    (fun pos (lb : Linear.lblock) ->
+      let b = lb.Linear.src in
+      match lb.Linear.term with
+      | Linear.Lcond { taken_on; inserted_jump = Some _; _ } ->
+        let flipped =
+          if taken_on then Decision.Jump_on_true else Decision.Jump_on_false
+        in
+        let gain = saving (Decision.with_neither base_decision b (Some flipped)) in
+        if gain > eps then
+          info pos ~rule:"audit/jump-leg-flip"
+            "routing the %s leg of b%d through its inserted jump instead would \
+             save %.1f expected %s cycles"
+            (if taken_on then "true" else "false")
+            b gain arch_name;
+        let gain = saving (Decision.with_neither base_decision b None) in
+        if gain > eps then
+          info pos ~rule:"audit/jump-elision"
+            "eliding the inserted jump of b%d (aligning one edge) would save %.1f \
+             expected %s cycles"
+            b gain arch_name
+      | Linear.Lcond { inserted_jump = None; _ } ->
+        List.iter
+          (fun leg ->
+            let gain = saving (Decision.with_neither base_decision b (Some leg)) in
+            if gain > eps then
+              info pos ~rule:"audit/neither-edge"
+                "forcing the neither-edge lowering of b%d (jump on the %s leg) \
+                 would save %.1f expected %s cycles"
+                b (Decision.leg_name leg) gain arch_name)
+          [ Decision.Jump_on_true; Decision.Jump_on_false ]
+      | _ -> ())
+    linear.Linear.blocks;
+  Diagnostic.sort !diags

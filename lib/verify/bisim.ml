@@ -1,0 +1,271 @@
+open Ba_ir
+open Ba_layout
+open Ba_analysis
+
+type real =
+  | W_none
+  | W_jump
+  | W_cond of { taken_leg : bool; taken_backward : bool; jump : bool }
+  | W_switch
+  | W_call of { cont_jump : bool }
+  | W_vcall of { cont_jump : bool }
+  | W_ret
+  | W_halt
+
+type witness = { position : int array; reals : real array }
+
+(* A float-array equality that treats the arrays as data tables, not
+   measurements: lowering copies weights verbatim, so exact comparison is
+   the correct check. *)
+let same_floats a b =
+  Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+let verify ~proc_id (linear : Linear.t) =
+  let p = linear.Linear.proc in
+  let proc_name = p.Proc.name in
+  let n = Proc.n_blocks p in
+  let blocks = linear.Linear.blocks in
+  let diags = ref [] in
+  let proc_err ~rule fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diagnostic.severity = Diagnostic.Error; rule;
+            loc = Diagnostic.Proc { proc = proc_id; proc_name }; message }
+          :: !diags)
+      fmt
+  in
+  let at pos ~rule fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diagnostic.severity = Diagnostic.Error; rule;
+            loc = Diagnostic.Layout_pos { proc = proc_id; proc_name; pos };
+            message }
+          :: !diags)
+      fmt
+  in
+  if Array.length blocks <> n then begin
+    proc_err ~rule:"bisim/block-count"
+      "%d layout blocks for a %d-block procedure: code was dropped or duplicated"
+      (Array.length blocks) n;
+    Error (Diagnostic.sort !diags)
+  end
+  else begin
+    (* 1. The relation block <-> position must be a bijection. *)
+    let position = Array.make n (-1) in
+    Array.iteri
+      (fun i (lb : Linear.lblock) ->
+        let b = lb.Linear.src in
+        if b < 0 || b >= n then
+          at i ~rule:"bisim/src-range" "layout block claims source b%d, not a block" b
+        else if position.(b) >= 0 then
+          at i ~rule:"bisim/src-permutation"
+            "source b%d appears at positions %d and %d" b position.(b) i
+        else position.(b) <- i)
+      blocks;
+    Array.iteri
+      (fun b pos ->
+        if pos < 0 then
+          proc_err ~rule:"bisim/src-permutation" "semantic block b%d has no layout block"
+            b)
+      position;
+    if !diags <> [] then Error (Diagnostic.sort !diags)
+    else begin
+      let reals = Array.make n W_none in
+      (* 2. Entry pinning: the procedure's entry point is its first address. *)
+      if blocks.(0).Linear.src <> Proc.entry then
+        at 0 ~rule:"bisim/entry-position"
+          "entry block b%d sits at layout position %d, not at the procedure's \
+           first address"
+          Proc.entry
+          position.(Proc.entry);
+      (* 3. Straight-line code preserved block for block. *)
+      Array.iteri
+        (fun i (lb : Linear.lblock) ->
+          let want = (Proc.block p lb.Linear.src).Block.insns in
+          if lb.Linear.insns <> want then
+            at i ~rule:"bisim/block-size"
+              "b%d lowered with %d straight-line instructions, the IR has %d"
+              lb.Linear.src lb.Linear.insns want)
+        blocks;
+      (* 4. The address map: contiguous, strictly increasing, so address
+         order and position order agree and branch displacements are
+         meaningful. *)
+      let cursor = ref blocks.(0).Linear.addr in
+      Array.iteri
+        (fun i (lb : Linear.lblock) ->
+          if lb.Linear.addr <> !cursor then
+            at i ~rule:"bisim/address-map"
+              "block at address %d but the preceding code ends at %d"
+              lb.Linear.addr !cursor;
+          cursor := lb.Linear.addr + Linear.block_size lb)
+        blocks;
+      (* 5. Transition matching: for every related pair (b, pos), the
+         outcome-labelled transfers of the two sides coincide. *)
+      let dest_block (tr : Realize.transition) = blocks.(tr.Realize.dest).Linear.src in
+      let expect_edge i ~label_name (tr : Realize.transition) want =
+        let got = dest_block tr in
+        if got <> want then
+          at i ~rule:"bisim/edge-mismatch"
+            "%s edge of b%d leads to b%d in the linear code, the CFG says b%d"
+            label_name blocks.(i).Linear.src got want
+      in
+      Array.iteri
+        (fun i (lb : Linear.lblock) ->
+          let b = lb.Linear.src in
+          let term = (Proc.block p b).Block.term in
+          let kind_mismatch () =
+            at i ~rule:"bisim/kind-mismatch"
+              "b%d lowered as %s but its IR terminator is a %s"
+              b
+              (match lb.Linear.term with
+              | Linear.Lnone -> "fall-through"
+              | Linear.Ljump _ -> "jump"
+              | Linear.Lcond _ -> "conditional"
+              | Linear.Lswitch _ -> "switch"
+              | Linear.Lcall _ -> "call"
+              | Linear.Lvcall _ -> "vcall"
+              | Linear.Lret -> "return"
+              | Linear.Lhalt -> "halt")
+              (Term.kind_name term)
+          in
+          match Realize.transitions linear i with
+          | Error e -> at i ~rule:(match e with
+              | Realize.Off_end -> "bisim/off-end"
+              | Realize.Bad_target _ -> "bisim/target-range")
+              "%s" (Realize.error_message e)
+          | Ok trans -> (
+            match (lb.Linear.term, term) with
+            | (Linear.Lnone | Linear.Ljump _), Term.Jump d -> (
+              match trans with
+              | [ tr ] ->
+                expect_edge i ~label_name:"jump" tr d;
+                reals.(i) <-
+                  (match tr.Realize.path with
+                  | Realize.Adjacent -> W_none
+                  | Realize.Hops _ -> W_jump)
+              | _ ->
+                at i ~rule:"bisim/edge-mismatch"
+                  "jump block b%d realises %d transitions, expected exactly one" b
+                  (List.length trans))
+            | Linear.Lcond { taken_on; _ }, Term.Cond { on_true; on_false; _ } -> (
+              let find outcome =
+                List.find_opt
+                  (fun tr -> tr.Realize.label = Realize.On_cond outcome)
+                  trans
+              in
+              match (find true, find false) with
+              | Some t_true, Some t_false ->
+                expect_edge i ~label_name:"true" t_true on_true;
+                expect_edge i ~label_name:"false" t_false on_false;
+                let taken = if taken_on then t_true else t_false in
+                let other = if taken_on then t_false else t_true in
+                let jump =
+                  match other.Realize.path with
+                  | Realize.Adjacent -> false
+                  | Realize.Hops _ -> true
+                in
+                reals.(i) <-
+                  W_cond
+                    {
+                      taken_leg = taken_on;
+                      taken_backward = taken.Realize.dest <= i;
+                      jump;
+                    }
+              | _ ->
+                at i ~rule:"bisim/edge-mismatch"
+                  "conditional b%d does not realise both semantic outcomes" b)
+            | ( Linear.Lswitch { positions; weights },
+                Term.Switch { targets } ) ->
+              if Array.length positions <> Array.length targets then
+                at i ~rule:"bisim/table-mismatch"
+                  "switch b%d lowered with %d cases, the IR has %d" b
+                  (Array.length positions) (Array.length targets)
+              else begin
+                List.iter
+                  (fun tr ->
+                    match tr.Realize.label with
+                    | Realize.On_case k ->
+                      expect_edge i
+                        ~label_name:(Printf.sprintf "case %d" k)
+                        tr
+                        (fst targets.(k))
+                    | _ -> ())
+                  trans;
+                if not (same_floats weights (Array.map snd targets)) then
+                  at i ~rule:"bisim/table-mismatch"
+                    "switch b%d carries case weights that differ from the IR" b;
+                reals.(i) <- W_switch
+              end
+            | ( Linear.Lcall { callee; _ },
+                Term.Call { callee = ir_callee; next } ) -> (
+              if callee <> ir_callee then
+                at i ~rule:"bisim/table-mismatch"
+                  "call b%d targets procedure p%d, the IR calls p%d" b callee
+                  ir_callee;
+              match trans with
+              | [ tr ] ->
+                expect_edge i ~label_name:"continuation" tr next;
+                reals.(i) <-
+                  W_call
+                    {
+                      cont_jump =
+                        (match tr.Realize.path with
+                        | Realize.Adjacent -> false
+                        | Realize.Hops _ -> true);
+                    }
+              | _ ->
+                at i ~rule:"bisim/edge-mismatch"
+                  "call b%d realises %d continuations, expected exactly one" b
+                  (List.length trans))
+            | ( Linear.Lvcall { callees; weights; _ },
+                Term.Vcall { callees = ir_callees; next } ) -> (
+              if
+                not
+                  (Array.length callees = Array.length ir_callees
+                  && Array.for_all2 ( = ) callees (Array.map fst ir_callees)
+                  && same_floats weights (Array.map snd ir_callees))
+              then
+                at i ~rule:"bisim/table-mismatch"
+                  "vcall b%d carries a dispatch table that differs from the IR" b;
+              match trans with
+              | [ tr ] ->
+                expect_edge i ~label_name:"continuation" tr next;
+                reals.(i) <-
+                  W_vcall
+                    {
+                      cont_jump =
+                        (match tr.Realize.path with
+                        | Realize.Adjacent -> false
+                        | Realize.Hops _ -> true);
+                    }
+              | _ ->
+                at i ~rule:"bisim/edge-mismatch"
+                  "vcall b%d realises %d continuations, expected exactly one" b
+                  (List.length trans))
+            | Linear.Lret, Term.Ret -> reals.(i) <- W_ret
+            | Linear.Lhalt, Term.Halt -> reals.(i) <- W_halt
+            | _, _ -> kind_mismatch ()))
+        blocks;
+      (* 6. No executable path added: every layout block is reachable from
+         the entry through the static transfers just checked. *)
+      let seen = Array.make n false in
+      let rec walk i =
+        if not seen.(i) then begin
+          seen.(i) <- true;
+          List.iter walk (Linear.static_successors linear i)
+        end
+      in
+      walk 0;
+      Array.iteri
+        (fun i reached ->
+          if not reached then
+            at i ~rule:"bisim/unreachable-code"
+              "layout block for b%d is unreachable from the procedure entry"
+              blocks.(i).Linear.src)
+        seen;
+      if !diags = [] then Ok { position; reals }
+      else Error (Diagnostic.sort !diags)
+    end
+  end

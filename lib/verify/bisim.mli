@@ -1,0 +1,65 @@
+(** Translation validation: block-level bisimulation between a procedure's
+    CFG and its lowered linear code.
+
+    [verify] proves, purely statically, that the linear code computes what
+    the IR computes: it relates every layout block to its semantic source
+    block and checks that the outcome-labelled transitions of the two sides
+    coincide — every original edge is realised as a fall-through, a
+    (possibly sense-inverted) taken branch, a single unconditional jump, or
+    the fall-then-jump chain of a neither-edge conditional, and the linear
+    code has no transition the CFG lacks.  Because both transition systems
+    are deterministic given the semantic outcome, and outcome streams are a
+    property of the program rather than the layout, matching transitions at
+    every related pair is exactly a bisimulation: original and lowered code
+    are then step-for-step equivalent on every input, with no interpreter
+    run involved.
+
+    The proof deliberately consumes only the IR procedure and the
+    {!Ba_layout.Linear.t} block array (terminators and addresses) — not the
+    {!Ba_layout.Decision} and never {!Ba_layout.Lower} itself — so it
+    validates the lowering rather than re-running it, in the spirit of
+    translation validation (certify each output, not the compiler).
+
+    Checks, each with a stable rule id (catalogued in DESIGN.md):
+
+    - [bisim/block-count], [bisim/src-range], [bisim/src-permutation]: the
+      relation is a bijection between semantic blocks and layout positions;
+    - [bisim/entry-position]: the entry block keeps the first address;
+    - [bisim/block-size]: straight-line instruction counts are preserved;
+    - [bisim/address-map]: addresses are contiguous in layout order, so
+      positions and addresses order identically;
+    - [bisim/off-end], [bisim/target-range]: no transfer leaves the code;
+    - [bisim/kind-mismatch]: lowered terminators correspond to IR kinds;
+    - [bisim/edge-mismatch]: a CFG edge dropped, added, or retargeted;
+    - [bisim/table-mismatch]: switch / vcall targets, callees or weights
+      differ from the IR;
+    - [bisim/unreachable-code]: layout blocks unreachable from the entry
+      (executable code no path can justify). *)
+
+type real =
+  | W_none  (** jump / continuation realised as pure adjacency *)
+  | W_jump  (** unconditional branch emitted *)
+  | W_cond of { taken_leg : bool; taken_backward : bool; jump : bool }
+      (** conditional: the semantic outcome [taken_leg] is the taken leg,
+          branching backward iff [taken_backward]; [jump] when the other
+          leg runs through an inserted unconditional jump *)
+  | W_switch
+  | W_call of { cont_jump : bool }
+  | W_vcall of { cont_jump : bool }
+  | W_ret
+  | W_halt
+
+type witness = {
+  position : int array;  (** semantic block id -> layout position *)
+  reals : real array;  (** per layout position: how the terminator lowered *)
+}
+(** The constructive content of a successful validation; the cost
+    certifier prices layouts from this alone. *)
+
+val verify :
+  proc_id:Ba_ir.Term.proc_id ->
+  Ba_layout.Linear.t ->
+  (witness, Ba_analysis.Diagnostic.t list) result
+(** [Ok] iff the linear code is observationally equivalent to
+    [linear.proc]; [Error] carries at least one error-severity
+    diagnostic. *)

@@ -1,0 +1,72 @@
+type t = {
+  workload : string;
+  algo : string;
+  arch : string;
+  procs : int;
+  code_size : int;
+  branch_cycles : float;
+  evaluator_cycles : float;
+  per_proc : (string * float) array;
+  digest : string;
+}
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* The canonical string the digest covers.  Cycle counts are printed with
+   six decimals so the digest is stable across summation-order-preserving
+   rebuilds but sensitive to any real change. *)
+let canonical c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s|%s|%s|%d|%d|%.6f|%.6f" c.workload c.algo c.arch c.procs
+       c.code_size c.branch_cycles c.evaluator_cycles);
+  Array.iter
+    (fun (name, cycles) ->
+      Buffer.add_string buf (Printf.sprintf "|%s=%.6f" name cycles))
+    c.per_proc;
+  Buffer.contents buf
+
+let make ~workload ~algo ~arch ~code_size ~evaluator_cycles ~per_proc =
+  let branch_cycles = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 per_proc in
+  let c =
+    {
+      workload; algo; arch; procs = Array.length per_proc; code_size;
+      branch_cycles; evaluator_cycles; per_proc; digest = "";
+    }
+  in
+  { c with digest = fnv1a64 (canonical c) }
+
+let digest_ok c = String.equal c.digest (fnv1a64 (canonical c))
+
+let to_json c =
+  let open Ba_util.Json in
+  Obj
+    [
+      ("workload", String c.workload);
+      ("algo", String c.algo);
+      ("arch", String c.arch);
+      ("procs", Int c.procs);
+      ("code_size", Int c.code_size);
+      ("branch_cycles", Float c.branch_cycles);
+      ("evaluator_cycles", Float c.evaluator_cycles);
+      ( "per_proc",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (name, cycles) ->
+                  Obj [ ("proc", String name); ("cycles", Float cycles) ])
+                c.per_proc)) );
+      ("digest", String c.digest);
+    ]
+
+let pp ppf c =
+  Fmt.pf ppf "%s/%s/%s: %.1f cycles over %d procs (evaluator %.1f, digest %s)"
+    c.workload c.algo c.arch c.branch_cycles c.procs c.evaluator_cycles c.digest

@@ -1,0 +1,50 @@
+(** Cost certificates.
+
+    A certificate is the auditable record a successful verification emits
+    per (workload, algorithm, architecture): the statically recomputed
+    expected branch cost, the evaluator's cross-checked figure, per-procedure
+    detail, and a content digest over the canonical rendering so a stored
+    certificate can later be checked for tampering or drift ("signed off"
+    in the weak, integrity-checking sense — FNV-1a is not cryptographic).
+
+    Canonical form (also the [to_json] layout):
+
+    {v
+    workload | algo | arch | procs | code_size
+    branch_cycles      — certifier's total (sum of per_proc)
+    evaluator_cycles   — Ba_core.Layout_cost's total
+    per_proc           — (procedure name, certified cycles) in program order
+    digest             — fnv1a64 over all of the above, hex
+    v} *)
+
+type t = {
+  workload : string;
+  algo : string;
+  arch : string;
+  procs : int;
+  code_size : int;
+  branch_cycles : float;
+  evaluator_cycles : float;
+  per_proc : (string * float) array;
+  digest : string;
+}
+
+val make :
+  workload:string ->
+  algo:string ->
+  arch:string ->
+  code_size:int ->
+  evaluator_cycles:float ->
+  per_proc:(string * float) array ->
+  t
+(** Totals [branch_cycles] from [per_proc] and computes the digest. *)
+
+val fnv1a64 : string -> string
+(** 64-bit FNV-1a of a string, as 16 lower-case hex digits. *)
+
+val digest_ok : t -> bool
+(** Recompute the digest from the record's fields and compare — the check a
+    consumer of a stored certificate performs. *)
+
+val to_json : t -> Ba_util.Json.t
+val pp : Format.formatter -> t -> unit

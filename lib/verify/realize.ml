@@ -1,0 +1,83 @@
+open Ba_layout
+
+type label = On_next | On_cond of bool | On_case of int
+
+type path = Adjacent | Hops of int list
+
+type transition = { label : label; dest : int; path : path }
+
+type error = Off_end | Bad_target of { what : string; target : int }
+
+let error_message = function
+  | Off_end -> "control falls through past the last layout block"
+  | Bad_target { what; target } ->
+    Printf.sprintf "%s targets layout position %d, outside the procedure" what
+      target
+
+exception Bad of error
+
+let transitions (linear : Linear.t) i =
+  let n = Array.length linear.Linear.blocks in
+  let lb = linear.Linear.blocks.(i) in
+  let next () = if i + 1 < n then i + 1 else raise (Bad Off_end) in
+  let checked what t =
+    if t < 0 || t >= n then raise (Bad (Bad_target { what; target = t })) else t
+  in
+  let cont_transition what cont =
+    match cont with
+    | Linear.Fall -> { label = On_next; dest = next (); path = Adjacent }
+    | Linear.Jump_to t ->
+      {
+        label = On_next;
+        dest = checked what t;
+        path = Hops [ Linear.inserted_jump_pc lb ];
+      }
+  in
+  try
+    Ok
+      (match lb.Linear.term with
+      | Linear.Lnone -> [ { label = On_next; dest = next (); path = Adjacent } ]
+      | Linear.Ljump t ->
+        [
+          {
+            label = On_next;
+            dest = checked "unconditional jump" t;
+            path = Hops [ Linear.branch_pc lb ];
+          };
+        ]
+      | Linear.Lcond { taken_pos; taken_on; inserted_jump } ->
+        let taken =
+          {
+            label = On_cond taken_on;
+            dest = checked "conditional branch" taken_pos;
+            path = Hops [ Linear.branch_pc lb ];
+          }
+        in
+        let fall =
+          match inserted_jump with
+          | None ->
+            (* The branch instruction executes not-taken, then control is
+               adjacent; no fetch redirect happens. *)
+            { label = On_cond (not taken_on); dest = next (); path = Adjacent }
+          | Some j ->
+            {
+              label = On_cond (not taken_on);
+              dest = checked "inserted jump" j;
+              path = Hops [ Linear.branch_pc lb; Linear.inserted_jump_pc lb ];
+            }
+        in
+        [ taken; fall ]
+      | Linear.Lswitch { positions; _ } ->
+        Array.to_list
+          (Array.mapi
+             (fun k t ->
+               {
+                 label = On_case k;
+                 dest = checked (Printf.sprintf "switch case %d" k) t;
+                 path = Hops [ Linear.branch_pc lb ];
+               })
+             positions)
+      | Linear.Lcall { cont; _ } -> [ cont_transition "call continuation" cont ]
+      | Linear.Lvcall { cont; _ } -> [ cont_transition "vcall continuation" cont ]
+      | Linear.Lret | Linear.Lhalt -> [])
+  with Bad e -> Error e

@@ -1,0 +1,39 @@
+(** Static transfer semantics of linear code.
+
+    The translation validator needs to know, for a lowered block, where
+    control goes under each semantic outcome — without running the
+    interpreter and without consulting the {!Ba_layout.Decision} or
+    {!Ba_layout.Lower} (those are the artefacts under validation).  This
+    module reads a {!Ba_layout.Linear.t} block's lowered terminator and
+    enumerates its outcome-labelled transitions: the fall-through, the
+    taken leg of a (possibly sense-inverted) conditional, the inserted
+    unconditional jump of the "align neither edge" lowering, switch cases,
+    and call continuations. *)
+
+type label =
+  | On_next  (** the unique continuation of a jump / call / vcall block *)
+  | On_cond of bool  (** a conditional's semantic outcome *)
+  | On_case of int  (** a switch's case index *)
+
+type path =
+  | Adjacent  (** control reaches the target by address adjacency alone *)
+  | Hops of int list
+      (** branch instruction addresses executed on the way, in order: one
+          for a taken branch or an unconditional jump, two for the
+          fall-then-jump chain of a neither-edge conditional *)
+
+type transition = { label : label; dest : int; path : path }
+(** One outcome-labelled transfer to the layout position [dest]. *)
+
+type error =
+  | Off_end  (** a fall-through past the last layout block *)
+  | Bad_target of { what : string; target : int }
+      (** a branch names a layout position outside the procedure *)
+
+val transitions : Ba_layout.Linear.t -> int -> (transition list, error) result
+(** The transitions of the block at a layout position.  [Lret] and [Lhalt]
+    have none.  The result is in a fixed order (conditionals: taken leg
+    first), so callers may compare lists structurally after sorting by
+    label. *)
+
+val error_message : error -> string

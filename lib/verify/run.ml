@@ -1,0 +1,125 @@
+open Ba_analysis
+
+type t = {
+  lint : Run.report;
+  bisim : Diagnostic.t list;
+  certificates : Certificate.t list;
+  cert_diags : Diagnostic.t list;
+  audit : Diagnostic.t list;
+  verified : bool;
+}
+
+let diagnostics t =
+  Diagnostic.sort
+    (Run.diagnostics t.lint @ t.bisim @ t.cert_diags @ t.audit)
+
+let error_count t =
+  let e, _, _ = Diagnostic.count (diagnostics t) in
+  e
+
+let verify_image ?(cert_arches = Ba_core.Cost_model.all_arches)
+    ?(audit_arch = Ba_core.Cost_model.Btfnt) ?(audit = true) ~workload ~algo
+    ~profile (image : Ba_layout.Image.t) =
+  let program = image.Ba_layout.Image.program in
+  let n = Ba_ir.Program.n_procs program in
+  let visits p b = Ba_cfg.Profile.visits profile p b in
+  let cond_counts p b = Ba_cfg.Profile.cond_counts profile p b in
+  let witnesses = Array.make n None in
+  let bisim_diags = ref [] in
+  for pid = 0 to n - 1 do
+    match Bisim.verify ~proc_id:pid image.Ba_layout.Image.linears.(pid) with
+    | Ok w -> witnesses.(pid) <- Some w
+    | Error diags -> bisim_diags := !bisim_diags @ diags
+  done;
+  if !bisim_diags <> [] then (Diagnostic.sort !bisim_diags, [], [], [])
+  else begin
+    let witness pid = Option.get witnesses.(pid) in
+    let cert_diags = ref [] in
+    let certificates =
+      List.filter_map
+        (fun arch ->
+          let per_proc = Array.make n ("", 0.0) in
+          let evaluator = ref 0.0 in
+          let failed = ref false in
+          for pid = 0 to n - 1 do
+            let linear = image.Ba_layout.Image.linears.(pid) in
+            evaluator :=
+              !evaluator
+              +. Ba_core.Layout_cost.branch_cost ~arch ~visits:(visits pid)
+                   ~cond_counts:(cond_counts pid) linear;
+            match
+              Cost_cert.certify ~arch ~visits:(visits pid)
+                ~cond_counts:(cond_counts pid) ~proc_id:pid linear (witness pid)
+            with
+            | Ok cycles ->
+              per_proc.(pid) <-
+                ((Ba_ir.Program.proc program pid).Ba_ir.Proc.name, cycles)
+            | Error diags ->
+              failed := true;
+              cert_diags := !cert_diags @ diags
+          done;
+          if !failed then None
+          else
+            Some
+              (Certificate.make ~workload ~algo
+                 ~arch:(Ba_core.Cost_model.arch_name arch)
+                 ~code_size:image.Ba_layout.Image.total_size
+                 ~evaluator_cycles:!evaluator ~per_proc))
+        cert_arches
+    in
+    let audit_diags =
+      if not audit then []
+      else
+        List.concat
+          (List.init n (fun pid ->
+               Audit.check ~arch:audit_arch ~visits:(visits pid)
+                 ~cond_counts:(cond_counts pid) ~proc_id:pid
+                 image.Ba_layout.Image.linears.(pid)))
+    in
+    ([], certificates, Diagnostic.sort !cert_diags, Diagnostic.sort audit_diags)
+  end
+
+let has_errors diags = List.exists Diagnostic.is_error diags
+
+let verify_pipeline ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches ?max_steps
+    ?profile ?audit ~algo (program : Ba_ir.Program.t) =
+  let unverified lint =
+    { lint; bisim = []; certificates = []; cert_diags = []; audit = [];
+      verified = false }
+  in
+  let lint_report stages =
+    { Run.program_name = program.Ba_ir.Program.name; algo; arch; stages }
+  in
+  let ir_diags = Check_ir.check_program program in
+  if has_errors ir_diags then unverified (lint_report [ (Run.Ir, ir_diags) ])
+  else begin
+    let profile =
+      match profile with
+      | Some p ->
+        if Ba_cfg.Profile.program p != program then
+          invalid_arg "Ba_verify.Run.verify_pipeline: profile of a different program";
+        p
+      | None -> Ba_exec.Engine.profile_program ?max_steps program
+    in
+    let profile_diags = Check_profile.check profile in
+    let decisions = Ba_core.Align.align_program algo ~arch profile in
+    let layout_stages = Run.check_layout ~profile program decisions in
+    let lint =
+      lint_report
+        ((Run.Ir, ir_diags) :: (Run.Profile, profile_diags) :: layout_stages)
+    in
+    (* Decision errors mean lowering was skipped (and would raise). *)
+    if not (List.mem_assoc Run.Linear lint.Run.stages) then unverified lint
+    else begin
+      let image = Ba_layout.Image.build ~profile program decisions in
+      let bisim, certificates, cert_diags, audit =
+        verify_image ?cert_arches ~audit_arch:arch ?audit
+          ~workload:program.Ba_ir.Program.name
+          ~algo:(Ba_core.Align.algo_name algo) ~profile image
+      in
+      {
+        lint; bisim; certificates; cert_diags; audit;
+        verified = bisim = [] && cert_diags = [] && certificates <> [];
+      }
+    end
+  end

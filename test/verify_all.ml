@@ -1,0 +1,56 @@
+(* The verify-all matrix: every built-in workload, verified end-to-end
+   under every alignment algorithm.  For each pair the pipeline is linted,
+   the lowered layout is proved equivalent to its source CFG (translation
+   validation), its expected cost is certified on every architecture
+   against an independent recomputation, and the optimality audit runs.
+   Any Error-severity diagnostic — or a pair that fails to produce a full
+   certificate set — fails the build.
+
+   Each workload is profiled once and the profile reused across the
+   algorithms, exactly as lint_all does. *)
+
+let algos =
+  [
+    Ba_core.Align.Original;
+    Ba_core.Align.Greedy;
+    Ba_core.Align.Cost;
+    Ba_core.Align.Tryn 15;
+  ]
+
+let max_steps = 60_000
+
+let () =
+  let failed = ref 0 and runs = ref 0 and certificates = ref 0 in
+  List.iter
+    (fun (w : Ba_workloads.Spec.t) ->
+      let program = w.Ba_workloads.Spec.build () in
+      let profile = Ba_exec.Engine.profile_program ~max_steps program in
+      List.iter
+        (fun algo ->
+          incr runs;
+          let result = Ba_verify.Run.verify_pipeline ~profile ~algo program in
+          certificates := !certificates + List.length result.Ba_verify.Run.certificates;
+          let errs = Ba_verify.Run.error_count result in
+          if errs > 0 || not result.Ba_verify.Run.verified then begin
+            incr failed;
+            Printf.printf "FAIL %-12s %-8s %sverified, %d error%s\n" w.name
+              (Ba_core.Align.algo_name algo)
+              (if result.Ba_verify.Run.verified then "" else "not ")
+              errs
+              (if errs = 1 then "" else "s");
+            List.iter
+              (fun d ->
+                if Ba_analysis.Diagnostic.is_error d then
+                  Format.printf "  %a@." Ba_analysis.Diagnostic.pp d)
+              (Ba_verify.Run.diagnostics result)
+          end)
+        algos)
+    Ba_workloads.Spec.all;
+  if !failed > 0 then begin
+    Printf.printf "verify-all: %d of %d workload/algo pairs failed\n" !failed !runs;
+    exit 1
+  end
+  else
+    Printf.printf
+      "verify-all: %d workload/algo pairs verified, %d certificates issued\n"
+      !runs !certificates
