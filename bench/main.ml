@@ -7,8 +7,10 @@
    Two jobs live here:
 
    1. "tables": regenerate every table and figure of the paper at full
-      trace scale and print them (the same output `experiments all`
-      produces) — this is the reproduction artifact.
+      trace scale on the Ba_par pool and print them (the same output
+      `experiments all` produces), followed by a JSON record of the
+      per-workload evaluation wall times — this is the reproduction
+      artifact.
 
    2. "micro": Bechamel timings with one Test.make per table/figure (the
       regeneration pipelines at reduced trace scale, so the timer can
@@ -21,22 +23,23 @@ open Toolkit
 let reduced_steps = 30_000
 
 (* A profiled mid-size workload for the algorithm microbenchmarks; gcc has
-   the most procedures and branch sites. *)
-let gcc_profile =
-  lazy
-    (let w = Option.get (Ba_workloads.Spec.by_name "gcc") in
-     Ba_exec.Engine.profile_program ~max_steps:reduced_steps
-       (w.Ba_workloads.Spec.build ()))
+   the most procedures and branch sites.  The profile comes from the
+   process-wide Profiled memo rather than a toplevel [lazy]: Lazy.force
+   from two domains at once raises [Lazy.Undefined], the memo blocks the
+   second caller instead. *)
+let gcc_profile () =
+  let w = Option.get (Ba_workloads.Spec.by_name "gcc") in
+  snd (Ba_workloads.Profiled.get ~max_steps:reduced_steps w)
 
 let subset names = List.filter_map Ba_workloads.Spec.by_name names
 
 let table_workloads =
-  lazy (subset [ "alvinn"; "swm256"; "compress"; "espresso"; "gcc"; "groff" ])
+  subset [ "alvinn"; "swm256"; "compress"; "espresso"; "gcc"; "groff" ]
 
-let fig4_workloads = lazy (subset [ "alvinn"; "eqntott"; "sc" ])
+let fig4_workloads = subset [ "alvinn"; "eqntott"; "sc" ]
 
 let evaluate workloads =
-  Ba_report.Harness.evaluate_suite ~max_steps:reduced_steps (Lazy.force workloads)
+  Ba_report.Harness.evaluate_suite ~max_steps:reduced_steps workloads
 
 (* One Test.make per table / figure: each runs that table's full
    regeneration pipeline (profile, align, multi-architecture simulation,
@@ -56,7 +59,7 @@ let table_tests =
     ]
 
 let align_with algo =
-  let profile = Lazy.force gcc_profile in
+  let profile = gcc_profile () in
   ignore (Ba_core.Align.align_program algo ~arch:Ba_core.Cost_model.Fallthrough profile)
 
 let algorithm_tests =
@@ -70,7 +73,7 @@ let algorithm_tests =
 
 let substrate_tests =
   let program =
-    lazy ((Option.get (Ba_workloads.Spec.by_name "espresso")).Ba_workloads.Spec.build ())
+    (Option.get (Ba_workloads.Spec.by_name "espresso")).Ba_workloads.Spec.build ()
   in
   Test.make_grouped ~name:"substrate"
     [
@@ -78,7 +81,7 @@ let substrate_tests =
         (Staged.stage (fun () ->
              ignore
                (Ba_exec.Engine.run ~max_steps:reduced_steps
-                  (Ba_layout.Image.original (Lazy.force program)))));
+                  (Ba_layout.Image.original program))));
       Test.make ~name:"simulate-6-archs"
         (Staged.stage (fun () ->
              ignore
@@ -92,7 +95,7 @@ let substrate_tests =
                       Ba_sim.Bep.Btb_arch { entries = 64; assoc = 2 };
                       Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
                     ]
-                  (Ba_layout.Image.original (Lazy.force program)))));
+                  (Ba_layout.Image.original program))));
     ]
 
 let run_micro () =
@@ -122,7 +125,7 @@ let run_micro () =
     [ table_tests; algorithm_tests; substrate_tests ]
 
 let run_tables () =
-  let evals = Ba_report.Harness.evaluate_suite Ba_workloads.Spec.all in
+  let evals, stats = Ba_report.Harness.evaluate_suite_timed Ba_workloads.Spec.all in
   print_endline "== Table 1: branch cost model (cycles) ==";
   print_string (Ba_report.Tables.table1 ());
   print_endline "\n== Table 2: measured attributes of the traced programs ==";
@@ -132,7 +135,11 @@ let run_tables () =
   print_endline "\n== Table 4: relative CPI, dynamic prediction architectures ==";
   print_string (Ba_report.Tables.table4 evals);
   print_endline "\n== Figure 4: relative execution time, Alpha 21064 model ==";
-  print_string (Ba_report.Tables.fig4 evals)
+  print_string (Ba_report.Tables.fig4 evals);
+  (* Machine-readable timing record for tracking evaluation cost across
+     commits; one JSON object per run on a line of its own. *)
+  print_endline "\n== Evaluation timings (JSON) ==";
+  print_endline (Ba_util.Json.to_string (Ba_par.Stats.to_json stats))
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

@@ -52,6 +52,14 @@ let max_steps_arg =
   let doc = "Execution budget in semantic block visits." in
   Arg.(value & opt int Ba_workloads.Spec.default_max_steps & info [ "max-steps" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the checking pool (default: \\$(b,BA_JOBS) or the \
+     machine's domain count; 1 forces the sequential path).  Diagnostics, \
+     certificates and exit codes are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+
 let lookup name =
   match Ba_workloads.Spec.by_name name with
   | Some w -> w
@@ -237,15 +245,18 @@ let diag_table_columns =
 
 let plural n = if n = 1 then "" else "s"
 
-let lint_cmd workload algo arch strict format max_steps =
+let lint_cmd workload algo arch strict format max_steps jobs =
   let workloads =
     match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
   in
   let reports =
-    List.map
-      (fun (w : Ba_workloads.Spec.t) ->
-        (w, Ba_analysis.Run.check_pipeline ~arch ~max_steps ~algo (w.Ba_workloads.Spec.build ())))
-      workloads
+    Ba_par.Pool.with_pool ?jobs (fun pool ->
+        Ba_par.Pool.map pool
+          (fun (w : Ba_workloads.Spec.t) ->
+            ( w,
+              Ba_analysis.Run.check_pipeline ~arch ~max_steps ~algo
+                (w.Ba_workloads.Spec.build ()) ))
+          workloads)
   in
   let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
   let rows = ref [] in
@@ -332,18 +343,24 @@ let lint_cmd workload algo arch strict format max_steps =
    warnings stay visible.  JSON always carries everything. *)
 let max_table_infos = 10
 
-let verify_cmd workload algo arch strict no_audit format max_steps =
+let verify_cmd workload algo arch strict no_audit format max_steps jobs =
   let workloads =
     match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
   in
+  (* The pool is handed both to the per-workload map and to each
+     verify_pipeline: with many workloads the outer map parallelises and
+     the inner per-architecture certification runs inline; with a single
+     workload the outer map short-circuits and the five architectures
+     certify in parallel instead. *)
   let results =
-    List.map
-      (fun (w : Ba_workloads.Spec.t) ->
-        ( w,
-          Ba_verify.Run.verify_pipeline ~arch ~max_steps ~audit:(not no_audit)
-            ~algo
-            (w.Ba_workloads.Spec.build ()) ))
-      workloads
+    Ba_par.Pool.with_pool ?jobs (fun pool ->
+        Ba_par.Pool.map pool
+          (fun (w : Ba_workloads.Spec.t) ->
+            ( w,
+              Ba_verify.Run.verify_pipeline ~arch ~max_steps
+                ~audit:(not no_audit) ~algo ~pool
+                (w.Ba_workloads.Spec.build ()) ))
+          workloads)
   in
   let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
   let rows = ref [] in
@@ -525,7 +542,7 @@ let () =
            "Run the five-stage static checker (IR, profile, decision, linear, \
             image) over the whole alignment pipeline; exits non-zero on any error.")
       Term.(const lint_cmd $ workload_opt_arg $ algo_arg $ arch_arg $ strict_arg
-            $ format_arg $ max_steps_arg)
+            $ format_arg $ max_steps_arg $ jobs_arg)
   in
   let verify =
     let no_audit_arg =
@@ -541,7 +558,7 @@ let () =
             for locally improvable decisions; exits non-zero unless every \
             workload verifies.")
       Term.(const verify_cmd $ workload_opt_arg $ algo_arg $ arch_arg
-            $ strict_arg $ no_audit_arg $ format_arg $ max_steps_arg)
+            $ strict_arg $ no_audit_arg $ format_arg $ max_steps_arg $ jobs_arg)
   in
   exit
     (Cmd.eval

@@ -6,7 +6,10 @@
      experiments calibrate
 
    All commands accept --max-steps to trade fidelity for speed, and
-   --only PROG[,PROG...] to restrict the workload set. *)
+   --only PROG[,PROG...] to restrict the workload set.  The table/figure
+   commands additionally take -j JOBS (default: BA_JOBS or the domain
+   count) to evaluate workloads on a deterministic Ba_par pool; output is
+   byte-identical whatever the job count. *)
 
 open Cmdliner
 
@@ -33,13 +36,25 @@ let tryn_arg =
   let doc = "Group size for the TryN algorithm (the paper uses 15)." in
   Arg.(value & opt int 15 & info [ "tryn" ] ~doc)
 
-let evaluate ~max_steps ~tryn ~only =
-  Ba_report.Harness.evaluate_suite ~max_steps ~tryn (select only)
+let jobs_arg =
+  let doc =
+    "Worker domains for the evaluation pool (default: \\$(b,BA_JOBS) or the \
+     machine's domain count; 1 forces the sequential path).  Output is \
+     byte-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+
+let timings_arg =
+  let doc = "After the figures, print per-workload evaluation wall times." in
+  Arg.(value & flag & info [ "timings" ] ~doc)
+
+let evaluate ~max_steps ~tryn ~only ?jobs () =
+  Ba_report.Harness.evaluate_suite ~max_steps ~tryn ?jobs (select only)
 
 let print_table1 () = print_string (Ba_report.Tables.table1 ())
 
-let run_table which max_steps only tryn =
-  let evals = evaluate ~max_steps ~tryn ~only in
+let run_table which max_steps only tryn jobs =
+  let evals = evaluate ~max_steps ~tryn ~only ?jobs () in
   let render =
     match which with
     | `Table2 -> Ba_report.Tables.table2
@@ -49,8 +64,10 @@ let run_table which max_steps only tryn =
   in
   print_string (render evals)
 
-let run_all max_steps only tryn =
-  let evals = evaluate ~max_steps ~tryn ~only in
+let run_all max_steps only tryn jobs timings =
+  let evals, stats =
+    Ba_report.Harness.evaluate_suite_timed ~max_steps ~tryn ?jobs (select only)
+  in
   print_endline "== Table 1: branch cost model (cycles) ==";
   print_string (Ba_report.Tables.table1 ());
   print_endline "\n== Table 2: measured attributes of the traced programs ==";
@@ -60,7 +77,11 @@ let run_all max_steps only tryn =
   print_endline "\n== Table 4: relative CPI, dynamic prediction architectures ==";
   print_string (Ba_report.Tables.table4 evals);
   print_endline "\n== Figure 4: relative execution time, Alpha 21064 model ==";
-  print_string (Ba_report.Tables.fig4 evals)
+  print_string (Ba_report.Tables.fig4 evals);
+  if timings then begin
+    print_endline "\n== Per-workload evaluation wall times ==";
+    print_string (Ba_par.Stats.render stats)
+  end
 
 let calibrate max_steps only =
   let columns =
@@ -477,7 +498,8 @@ let ablation_algos max_steps only =
 (* -- command wiring ----------------------------------------------------------- *)
 
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ max_steps_arg $ only_arg $ tryn_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const f $ max_steps_arg $ only_arg $ tryn_arg $ jobs_arg)
 
 let cmd2 name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ max_steps_arg $ only_arg)
@@ -492,15 +514,18 @@ let () =
       [
         table1_cmd;
         cmd "table2" "Reproduce Table 2 (traced program attributes)."
-          (fun ms only tryn -> run_table `Table2 ms only tryn);
+          (fun ms only tryn jobs -> run_table `Table2 ms only tryn jobs);
         cmd "table3" "Reproduce Table 3 (static architectures)."
-          (fun ms only tryn -> run_table `Table3 ms only tryn);
+          (fun ms only tryn jobs -> run_table `Table3 ms only tryn jobs);
         cmd "table4" "Reproduce Table 4 (dynamic architectures)."
-          (fun ms only tryn -> run_table `Table4 ms only tryn);
+          (fun ms only tryn jobs -> run_table `Table4 ms only tryn jobs);
         cmd "fig4" "Reproduce Figure 4 (Alpha 21064 execution time)."
-          (fun ms only tryn -> run_table `Fig4 ms only tryn);
-        cmd "all" "Reproduce every table and figure." (fun ms only tryn ->
-            run_all ms only tryn);
+          (fun ms only tryn jobs -> run_table `Fig4 ms only tryn jobs);
+        Cmd.v
+          (Cmd.info "all" ~doc:"Reproduce every table and figure.")
+          Term.(
+            const run_all $ max_steps_arg $ only_arg $ tryn_arg $ jobs_arg
+            $ timings_arg);
         cmd2 "calibrate" "Print run lengths of each workload." calibrate;
         cmd2 "ablation-order" "Chain-ordering ablation (§6.1)." ablation_order;
         cmd2 "ablation-tryn" "TryN group-size ablation." ablation_tryn;

@@ -13,6 +13,16 @@ let run_algo algo ~arch ?table ?min_weight ctx =
   | Cost -> Cost_align.build_chains ~arch ?table ctx
   | Tryn n -> Tryn.build_chains ~arch ?table ~n ?min_weight ctx
 
+(* Exact model cost of one decision: lower it and price the result — the
+   same objective Layout_cost scores finished layouts with. *)
+let exact_cost ~arch ?table profile pid decision =
+  let proc = Ba_ir.Program.proc (Ba_cfg.Profile.program profile) pid in
+  let cond_counts b = Ba_cfg.Profile.cond_counts profile pid b in
+  let linear = Ba_layout.Lower.lower ~cond_counts proc decision in
+  Layout_cost.branch_cost ~arch ?table
+    ~visits:(fun b -> Ba_cfg.Profile.visits profile pid b)
+    ~cond_counts linear
+
 let align_proc algo ?strategy ?(arch = Cost_model.Btfnt) ?table ?min_weight
     ?(refine_rounds = 1) profile pid =
   let program = Ba_cfg.Profile.program profile in
@@ -38,7 +48,21 @@ let align_proc algo ?strategy ?(arch = Cost_model.Btfnt) ?table ?min_weight
         refine (round + 1) (one_round ctx)
       end
     in
-    refine 1 (one_round base_ctx)
+    let decision = refine 1 (one_round base_ctx) in
+    (match algo with
+    | Original | Greedy -> decision
+    | Cost | Tryn _ ->
+      (* Model guard: the cost-model heuristics estimate during chain
+         construction and can (rarely — ~0.1% of random CFGs) end up
+         pricier than the architecture-oblivious Greedy under their own
+         model.  Price both layouts exactly and keep the cheaper, so
+         "never loses to Greedy under the model it optimizes" holds by
+         construction; ties keep the heuristic's layout. *)
+      let greedy = Ctx.to_decision ?strategy base_ctx (Greedy.build_chains base_ctx) in
+      if exact_cost ~arch ?table profile pid greedy
+         < exact_cost ~arch ?table profile pid decision
+      then greedy
+      else decision)
 
 let align_program algo ?strategy ?arch ?table ?min_weight ?refine_rounds profile =
   let program = Ba_cfg.Profile.program profile in

@@ -1,0 +1,79 @@
+type 'a state = Pending | Ready of 'a | Failed of exn
+
+type 'a t = {
+  mutex : Mutex.t;
+  settled : Condition.t;  (* some Pending cell settled *)
+  table : (string, 'a state ref) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    settled = Condition.create ();
+    table = Hashtbl.create 64;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let get t ~key compute =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some cell ->
+    t.hit_count <- t.hit_count + 1;
+    let rec await () =
+      match !cell with
+      | Pending ->
+        Condition.wait t.settled t.mutex;
+        await ()
+      | Ready v ->
+        Mutex.unlock t.mutex;
+        v
+      | Failed e ->
+        Mutex.unlock t.mutex;
+        raise e
+    in
+    await ()
+  | None ->
+    let cell = ref Pending in
+    Hashtbl.add t.table key cell;
+    t.miss_count <- t.miss_count + 1;
+    Mutex.unlock t.mutex;
+    (* Compute outside the lock so unrelated keys proceed in parallel. *)
+    let result = match compute () with v -> Ok v | exception e -> Error e in
+    locked t (fun () ->
+        cell := (match result with Ok v -> Ready v | Error e -> Failed e);
+        Condition.broadcast t.settled);
+    (match result with Ok v -> v | Error e -> raise e)
+
+let mem t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some { contents = Ready _ | Failed _ } -> true
+      | Some { contents = Pending } | None -> false)
+
+let length t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ cell acc -> match !cell with Pending -> acc | _ -> acc + 1)
+        t.table 0)
+
+let hits t = locked t (fun () -> t.hit_count)
+let misses t = locked t (fun () -> t.miss_count)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          match !cell with
+          | Pending -> invalid_arg "Memo.clear: a computation is still in flight"
+          | _ -> ())
+        t.table;
+      Hashtbl.reset t.table;
+      t.hit_count <- 0;
+      t.miss_count <- 0)

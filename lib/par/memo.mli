@@ -1,0 +1,35 @@
+(** A compute-once, share-everywhere cache safe under domain parallelism.
+
+    [get] guarantees the compute function runs {e exactly once} per key, no
+    matter how many pool tasks ask concurrently: the first caller computes
+    while the rest block on a condition variable and then share the result.
+    An exception raised by the compute function is cached too, and re-raised
+    for every caller of that key — deterministically, like the value would
+    have been.
+
+    Keys are strings; callers are expected to build them from
+    {!Ba_util.Fnv.digest64} over a canonical description of the inputs
+    (see [Ba_workloads.Profiled] for the profile cache's keying). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val get : 'a t -> key:string -> (unit -> 'a) -> 'a
+
+val mem : 'a t -> string -> bool
+(** True if the key holds a settled (computed or failed) entry. *)
+
+val length : 'a t -> int
+(** Number of settled entries. *)
+
+val hits : 'a t -> int
+(** [get] calls served from the cache (including ones that blocked while
+    the first caller was still computing). *)
+
+val misses : 'a t -> int
+(** [get] calls that ran the compute function. *)
+
+val clear : 'a t -> unit
+(** Drop every settled entry and reset the counters.  Raises
+    [Invalid_argument] if a computation is still in flight. *)

@@ -1,0 +1,215 @@
+(* Hand-rolled work pool over Domain + Mutex/Condition (no dependency on
+   domainslib).  Determinism comes from the result slots being indexed by
+   task, not by completion: scheduling can interleave however it likes and
+   the caller still sees input order. *)
+
+type batch = {
+  run : int -> unit;  (* run task [i]; must never raise *)
+  n : int;
+  mutable next : int;  (* next unclaimed task index *)
+  mutable unfinished : int;  (* tasks not yet completed *)
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* claimable work exists, or shutdown *)
+  finished : Condition.t;  (* a batch completed *)
+  idle : Condition.t;  (* the pool is free for the next batch *)
+  mutable current : batch option;
+  mutable busy : bool;  (* a map is in flight *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* True while the current domain is executing a pool task; a nested [map]
+   must then run inline rather than submit to (and deadlock on) the pool. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () =
+  match Sys.getenv_opt "BA_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.n_jobs
+
+let run_task b i =
+  let prev = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  b.run i;
+  Domain.DLS.set in_task prev
+
+(* With [t.mutex] held: claim the next task of the current batch, clearing
+   [current] once the batch has no unclaimed tasks left. *)
+let try_claim t =
+  match t.current with
+  | Some b when b.next < b.n ->
+    let i = b.next in
+    b.next <- i + 1;
+    if b.next >= b.n then t.current <- None;
+    Some (b, i)
+  | _ -> None
+
+let complete t b =
+  Mutex.lock t.mutex;
+  b.unfinished <- b.unfinished - 1;
+  if b.unfinished = 0 then Condition.broadcast t.finished;
+  Mutex.unlock t.mutex
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if t.stop then None
+      else
+        match try_claim t with
+        | Some claimed -> Some claimed
+        | None ->
+          Condition.wait t.work t.mutex;
+          await ()
+    in
+    match await () with
+    | None -> Mutex.unlock t.mutex
+    | Some (b, i) ->
+      Mutex.unlock t.mutex;
+      run_task b i;
+      complete t b;
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if n_jobs < 1 then invalid_arg "Pool.create: jobs must be at least 1";
+  let t =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      idle = Condition.create ();
+      current = None;
+      busy = false;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Submit a batch and participate in running it until every task has
+   completed (claimed tasks may still be in flight on worker domains after
+   the submitter runs out of work to claim; wait for those too). *)
+let run_batch t b =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.map: pool already shut down"
+  end;
+  while t.busy do
+    Condition.wait t.idle t.mutex
+  done;
+  t.busy <- true;
+  t.current <- Some b;
+  Condition.broadcast t.work;
+  let rec participate () =
+    match try_claim t with
+    | Some (b', i) ->
+      Mutex.unlock t.mutex;
+      run_task b' i;
+      complete t b';
+      Mutex.lock t.mutex;
+      participate ()
+    | None ->
+      while b.unfinished > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.busy <- false;
+      Condition.broadcast t.idle;
+      Mutex.unlock t.mutex
+  in
+  participate ()
+
+(* The shared core: run [n] tasks, fill task-indexed result slots, raise the
+   lowest-indexed task exception (what a sequential left-to-right run would
+   surface) after the batch drains. *)
+let run_indexed t ~times n task =
+  if n > 0 then begin
+    let timed i =
+      match times with
+      | None -> ignore (task i : (_, exn) result)
+      | Some ts ->
+        let t0 = Unix.gettimeofday () in
+        ignore (task i : (_, exn) result);
+        ts.(i) <- Unix.gettimeofday () -. t0
+    in
+    if t.n_jobs = 1 || n = 1 || Domain.DLS.get in_task then
+      (* Sequential path: same slots, same exception contract, no pool
+         machinery.  [n = 1] deliberately skips the [in_task] flag so a
+         nested map of a single outer task can still use the pool. *)
+      for i = 0 to n - 1 do
+        timed i
+      done
+    else run_batch t { run = timed; n; next = 0; unfinished = n }
+  end
+
+let extract results =
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    results
+
+let map_array_timed t ~times f xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let task i =
+    let r = match f xs.(i) with v -> Ok v | exception e -> Error e in
+    results.(i) <- Some r;
+    r
+  in
+  run_indexed t ~times n task;
+  extract results
+
+let map_array t f xs = map_array_timed t ~times:None f xs
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let mapi t f xs =
+  Array.to_list
+    (map_array t (fun (i, x) -> f i x) (Array.of_list (List.mapi (fun i x -> (i, x)) xs)))
+
+let map_reduce t ~map:f ~reduce ~init xs = List.fold_left reduce init (map t f xs)
+
+let timed_map t ~label ?task_label f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  let times = Array.make n 0.0 in
+  let t0 = Unix.gettimeofday () in
+  let results = map_array_timed t ~times:(Some times) f xs in
+  let wall = Unix.gettimeofday () -. t0 in
+  let task_labels =
+    match task_label with
+    | Some l -> Array.map l xs
+    | None -> Array.init n string_of_int
+  in
+  ( Array.to_list results,
+    Stats.make ~label ~jobs:t.n_jobs ~wall_seconds:wall ~task_labels
+      ~task_seconds:times )

@@ -78,8 +78,9 @@ let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
   let max_steps =
     match max_steps with Some s -> s | None -> Ba_workloads.Spec.default_max_steps
   in
-  let program = workload.Ba_workloads.Spec.build () in
-  let profile = Ba_exec.Engine.profile_program ~max_steps program in
+  (* Memoized: the profile is layout-independent, so all tables, benches and
+     repeat evaluations of this workload at this budget share one trace. *)
+  let program, profile = Ba_workloads.Profiled.get ~max_steps workload in
   let orig_image = Ba_layout.Image.original ~profile program in
   let orig_out = run_image ~max_steps ~profile ~archs:full_archs orig_image in
   let orig_insns = orig_out.Runner.result.Ba_exec.Engine.insns in
@@ -169,8 +170,15 @@ let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
     alpha;
   }
 
-let evaluate_suite ?max_steps ?tryn workloads =
-  List.map (evaluate ?max_steps ?tryn) workloads
+let evaluate_suite ?max_steps ?tryn ?jobs workloads =
+  Ba_par.Pool.with_pool ?jobs (fun pool ->
+      Ba_par.Pool.map pool (evaluate ?max_steps ?tryn) workloads)
+
+let evaluate_suite_timed ?max_steps ?tryn ?jobs workloads =
+  Ba_par.Pool.with_pool ?jobs (fun pool ->
+      Ba_par.Pool.timed_map pool ~label:"evaluate_suite"
+        ~task_label:(fun (w : Ba_workloads.Spec.t) -> w.Ba_workloads.Spec.name)
+        (evaluate ?max_steps ?tryn) workloads)
 
 let class_groups evals =
   let group cls =

@@ -46,10 +46,25 @@ type eval = {
 
 val evaluate : ?max_steps:int -> ?tryn:int -> Ba_workloads.Spec.t -> eval
 (** [max_steps] defaults to {!Ba_workloads.Spec.default_max_steps}; [tryn]
-    to 15. *)
+    to 15.  The workload's profile comes from the process-wide
+    {!Ba_workloads.Profiled} memo, so repeat evaluations of the same
+    workload at the same budget profile it only once. *)
 
 val evaluate_suite :
-  ?max_steps:int -> ?tryn:int -> Ba_workloads.Spec.t list -> eval list
+  ?max_steps:int -> ?tryn:int -> ?jobs:int -> Ba_workloads.Spec.t list -> eval list
+(** Evaluate the workloads on a {!Ba_par.Pool} of [jobs] domains (default
+    {!Ba_par.Pool.default_jobs}, i.e. the [BA_JOBS] environment variable or
+    the machine's domain count; [jobs = 1] forces the sequential path).
+    Results are returned in workload order whatever the scheduling, so
+    every rendered table is byte-identical to a sequential run. *)
+
+val evaluate_suite_timed :
+  ?max_steps:int ->
+  ?tryn:int ->
+  ?jobs:int ->
+  Ba_workloads.Spec.t list ->
+  eval list * Ba_par.Stats.t
+(** {!evaluate_suite} plus per-workload wall times. *)
 
 val class_groups : eval list -> (string * eval list) list
 (** Group evaluations by workload class, preserving order, with the

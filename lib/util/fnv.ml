@@ -1,0 +1,13 @@
+let prime = 0x100000001b3L
+let offset_basis = 0xcbf29ce484222325L
+
+let hash64 s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let digest64 s = Printf.sprintf "%016Lx" (hash64 s)

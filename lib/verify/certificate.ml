@@ -10,15 +10,7 @@ type t = {
   digest : string;
 }
 
-let fnv1a64 s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h prime)
-    s;
-  Printf.sprintf "%016Lx" !h
+let fnv1a64 = Ba_util.Fnv.digest64
 
 (* The canonical string the digest covers.  Cycle counts are printed with
    six decimals so the digest is stable across summation-order-preserving

@@ -17,7 +17,7 @@ let error_count t =
   let e, _, _ = Diagnostic.count (diagnostics t) in
   e
 
-let verify_image ?(cert_arches = Ba_core.Cost_model.all_arches)
+let verify_image ?pool ?(cert_arches = Ba_core.Cost_model.all_arches)
     ?(audit_arch = Ba_core.Cost_model.Btfnt) ?(audit = true) ~workload ~algo
     ~profile (image : Ba_layout.Image.t) =
   let program = image.Ba_layout.Image.program in
@@ -34,39 +34,44 @@ let verify_image ?(cert_arches = Ba_core.Cost_model.all_arches)
   if !bisim_diags <> [] then (Diagnostic.sort !bisim_diags, [], [], [])
   else begin
     let witness pid = Option.get witnesses.(pid) in
-    let cert_diags = ref [] in
-    let certificates =
-      List.filter_map
-        (fun arch ->
-          let per_proc = Array.make n ("", 0.0) in
-          let evaluator = ref 0.0 in
-          let failed = ref false in
-          for pid = 0 to n - 1 do
-            let linear = image.Ba_layout.Image.linears.(pid) in
-            evaluator :=
-              !evaluator
-              +. Ba_core.Layout_cost.branch_cost ~arch ~visits:(visits pid)
-                   ~cond_counts:(cond_counts pid) linear;
-            match
-              Cost_cert.certify ~arch ~visits:(visits pid)
-                ~cond_counts:(cond_counts pid) ~proc_id:pid linear (witness pid)
-            with
-            | Ok cycles ->
-              per_proc.(pid) <-
-                ((Ba_ir.Program.proc program pid).Ba_ir.Proc.name, cycles)
-            | Error diags ->
-              failed := true;
-              cert_diags := !cert_diags @ diags
-          done;
-          if !failed then None
-          else
-            Some
-              (Certificate.make ~workload ~algo
-                 ~arch:(Ba_core.Cost_model.arch_name arch)
-                 ~code_size:image.Ba_layout.Image.total_size
-                 ~evaluator_cycles:!evaluator ~per_proc))
-        cert_arches
+    (* Certify one architecture: [(certificate option, diagnostics)].
+       Reads only the image, profile and witnesses, so the architectures
+       certify independently — and in parallel when a pool is given. *)
+    let certify_arch arch =
+      let per_proc = Array.make n ("", 0.0) in
+      let evaluator = ref 0.0 in
+      let failures = ref [] in
+      for pid = 0 to n - 1 do
+        let linear = image.Ba_layout.Image.linears.(pid) in
+        evaluator :=
+          !evaluator
+          +. Ba_core.Layout_cost.branch_cost ~arch ~visits:(visits pid)
+               ~cond_counts:(cond_counts pid) linear;
+        match
+          Cost_cert.certify ~arch ~visits:(visits pid)
+            ~cond_counts:(cond_counts pid) ~proc_id:pid linear (witness pid)
+        with
+        | Ok cycles ->
+          per_proc.(pid) <-
+            ((Ba_ir.Program.proc program pid).Ba_ir.Proc.name, cycles)
+        | Error diags -> failures := !failures @ diags
+      done;
+      if !failures <> [] then (None, !failures)
+      else
+        ( Some
+            (Certificate.make ~workload ~algo
+               ~arch:(Ba_core.Cost_model.arch_name arch)
+               ~code_size:image.Ba_layout.Image.total_size
+               ~evaluator_cycles:!evaluator ~per_proc),
+          [] )
     in
+    let arch_results =
+      match pool with
+      | Some pool -> Ba_par.Pool.map pool certify_arch cert_arches
+      | None -> List.map certify_arch cert_arches
+    in
+    let certificates = List.filter_map fst arch_results in
+    let cert_diags = ref (List.concat_map snd arch_results) in
     let audit_diags =
       if not audit then []
       else
@@ -81,8 +86,8 @@ let verify_image ?(cert_arches = Ba_core.Cost_model.all_arches)
 
 let has_errors diags = List.exists Diagnostic.is_error diags
 
-let verify_pipeline ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches ?max_steps
-    ?profile ?audit ~algo (program : Ba_ir.Program.t) =
+let verify_pipeline ?pool ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches
+    ?max_steps ?profile ?audit ~algo (program : Ba_ir.Program.t) =
   let unverified lint =
     { lint; bisim = []; certificates = []; cert_diags = []; audit = [];
       verified = false }
@@ -113,7 +118,7 @@ let verify_pipeline ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches ?max_steps
     else begin
       let image = Ba_layout.Image.build ~profile program decisions in
       let bisim, certificates, cert_diags, audit =
-        verify_image ?cert_arches ~audit_arch:arch ?audit
+        verify_image ?pool ?cert_arches ~audit_arch:arch ?audit
           ~workload:program.Ba_ir.Program.name
           ~algo:(Ba_core.Align.algo_name algo) ~profile image
       in

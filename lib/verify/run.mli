@@ -29,6 +29,7 @@ val diagnostics : t -> Ba_analysis.Diagnostic.t list
 val error_count : t -> int
 
 val verify_image :
+  ?pool:Ba_par.Pool.t ->
   ?cert_arches:Ba_core.Cost_model.arch list ->
   ?audit_arch:Ba_core.Cost_model.arch ->
   ?audit:bool ->
@@ -43,9 +44,12 @@ val verify_image :
 (** The verification passes alone — [(bisim, certificates, cert_diags,
     audit)] — over an already-built image, with the lint stages assumed
     done elsewhere.  [cert_arches] defaults to every architecture,
-    [audit_arch] to BT/FNT. *)
+    [audit_arch] to BT/FNT.  [pool] certifies the architectures in
+    parallel; certificates keep [cert_arches] order (and therefore their
+    digests) either way. *)
 
 val verify_pipeline :
+  ?pool:Ba_par.Pool.t ->
   ?arch:Ba_core.Cost_model.arch ->
   ?cert_arches:Ba_core.Cost_model.arch list ->
   ?max_steps:int ->

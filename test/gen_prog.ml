@@ -66,25 +66,73 @@ let proc_gen ~self ~n_procs ~is_main n =
     let blocks = Array.init n (fun i -> block_gen i st) in
     Proc.make ~name:(Printf.sprintf "p%d" self) blocks
 
-let program_gen =
+(* [sized_program_gen ~max_procs ~max_blocks] bounds the call-graph width
+   and per-procedure block count; the historical [program_gen] keeps its
+   small defaults, the pipeline fuzz uses larger bounds. *)
+let sized_program_gen ~max_procs ~max_blocks =
   let open QCheck.Gen in
   fun st ->
-    let n_procs = int_range 1 4 st in
+    let n_procs = int_range 1 max_procs st in
     let seed = int_range 0 1_000_000 st in
     let procs =
       Array.init n_procs (fun self ->
-          let n = int_range 2 12 st in
+          let n = int_range 2 max_blocks st in
           proc_gen ~self ~n_procs ~is_main:(self = 0) n st)
     in
     Program.make ~name:"random" ~seed procs
 
-let program_arb =
-  QCheck.make
-    ~print:(fun p ->
-      Fmt.str "@[<v>%a@]"
-        (Fmt.array (fun ppf proc -> Fmt.pf ppf "%a" Proc.pp proc))
-        p.Program.procs)
-    program_gen
+let program_gen = sized_program_gen ~max_procs:4 ~max_blocks:12
+
+let print_program p =
+  Fmt.str "@[<v>seed %d@,%a@]" p.Program.seed
+    (Fmt.array (fun ppf proc -> Fmt.pf ppf "%a" Proc.pp proc))
+    p.Program.procs
+
+let program_arb = QCheck.make ~print:print_program program_gen
+
+(* Wider programs for the end-to-end pipeline fuzz: deeper call graphs and
+   longer procedures exercise chain merging, switch lowering and the
+   certifier's position accounting harder than the unit-test sizes do. *)
+let large_program_arb =
+  QCheck.make ~print:print_program (sized_program_gen ~max_procs:6 ~max_blocks:20)
+
+(* Single-procedure programs whose terminators are only jumps and
+   conditionals — the control-flow shape the paper's §4 cost-vs-greedy
+   claim is about (switches and calls price chains the Cost heuristic does
+   not reorder for). *)
+let cond_proc_gen n =
+  let open QCheck.Gen in
+  let block_gen i st =
+    let insns = int_range 1 10 st in
+    let term =
+      if i = n - 1 then Term.Halt
+      else
+        match int_range 0 4 st with
+        | 0 -> Term.Jump (i + 1)
+        | _ ->
+          let other ~not_ =
+            let rec draw () =
+              let b = int_range 0 (n - 1) st in
+              if b = not_ then draw () else b
+            in
+            draw ()
+          in
+          let on_false = other ~not_:(i + 1) in
+          let behavior = behavior_gen st in
+          if bool st then Term.Cond { on_true = i + 1; on_false; behavior }
+          else Term.Cond { on_true = on_false; on_false = i + 1; behavior }
+    in
+    Block.make ~insns term
+  in
+  fun st -> Proc.make ~name:"main" (Array.init n (fun i -> block_gen i st))
+
+let cond_program_gen st =
+  let open QCheck.Gen in
+  let n = int_range 2 14 st in
+  let seed = int_range 0 1_000_000 st in
+  Program.make ~name:"random-cond" ~seed [| cond_proc_gen n st |]
+
+let cond_program_arb = QCheck.make ~print:print_program cond_program_gen
 
 (* A random layout decision for each procedure: a permutation with the entry
    block kept first. *)

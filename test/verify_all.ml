@@ -6,8 +6,10 @@
    Any Error-severity diagnostic — or a pair that fails to produce a full
    certificate set — fails the build.
 
-   Each workload is profiled once and the profile reused across the
-   algorithms, exactly as lint_all does. *)
+   The 96 pairs run on a Ba_par.Pool (BA_JOBS-many domains), each
+   workload profiled once via the Ba_workloads.Profiled memo exactly as
+   lint_all does; the per-pair certificate list keeps architecture order,
+   so every digest matches the sequential run's. *)
 
 let algos =
   [
@@ -20,37 +22,43 @@ let algos =
 let max_steps = 60_000
 
 let () =
-  let failed = ref 0 and runs = ref 0 and certificates = ref 0 in
+  let pairs =
+    List.concat_map
+      (fun (w : Ba_workloads.Spec.t) -> List.map (fun algo -> (w, algo)) algos)
+      Ba_workloads.Spec.all
+  in
+  let results =
+    Ba_par.Pool.with_pool (fun pool ->
+        Ba_par.Pool.map pool
+          (fun ((w : Ba_workloads.Spec.t), algo) ->
+            let program, profile = Ba_workloads.Profiled.get ~max_steps w in
+            (w, algo, Ba_verify.Run.verify_pipeline ~profile ~algo program))
+          pairs)
+  in
+  let failed = ref 0 and certificates = ref 0 in
   List.iter
-    (fun (w : Ba_workloads.Spec.t) ->
-      let program = w.Ba_workloads.Spec.build () in
-      let profile = Ba_exec.Engine.profile_program ~max_steps program in
-      List.iter
-        (fun algo ->
-          incr runs;
-          let result = Ba_verify.Run.verify_pipeline ~profile ~algo program in
-          certificates := !certificates + List.length result.Ba_verify.Run.certificates;
-          let errs = Ba_verify.Run.error_count result in
-          if errs > 0 || not result.Ba_verify.Run.verified then begin
-            incr failed;
-            Printf.printf "FAIL %-12s %-8s %sverified, %d error%s\n" w.name
-              (Ba_core.Align.algo_name algo)
-              (if result.Ba_verify.Run.verified then "" else "not ")
-              errs
-              (if errs = 1 then "" else "s");
-            List.iter
-              (fun d ->
-                if Ba_analysis.Diagnostic.is_error d then
-                  Format.printf "  %a@." Ba_analysis.Diagnostic.pp d)
-              (Ba_verify.Run.diagnostics result)
-          end)
-        algos)
-    Ba_workloads.Spec.all;
+    (fun ((w : Ba_workloads.Spec.t), algo, result) ->
+      certificates := !certificates + List.length result.Ba_verify.Run.certificates;
+      let errs = Ba_verify.Run.error_count result in
+      if errs > 0 || not result.Ba_verify.Run.verified then begin
+        incr failed;
+        Printf.printf "FAIL %-12s %-8s %sverified, %d error%s\n" w.name
+          (Ba_core.Align.algo_name algo)
+          (if result.Ba_verify.Run.verified then "" else "not ")
+          errs
+          (if errs = 1 then "" else "s");
+        List.iter
+          (fun d ->
+            if Ba_analysis.Diagnostic.is_error d then
+              Format.printf "  %a@." Ba_analysis.Diagnostic.pp d)
+          (Ba_verify.Run.diagnostics result)
+      end)
+    results;
   if !failed > 0 then begin
-    Printf.printf "verify-all: %d of %d workload/algo pairs failed\n" !failed !runs;
+    Printf.printf "verify-all: %d of %d workload/algo pairs failed\n" !failed
+      (List.length results);
     exit 1
   end
   else
-    Printf.printf
-      "verify-all: %d workload/algo pairs verified, %d certificates issued\n"
-      !runs !certificates
+    Printf.printf "verify-all: %d workload/algo pairs verified, %d certificates issued\n"
+      (List.length results) !certificates
