@@ -125,7 +125,11 @@ let run_micro () =
     [ table_tests; algorithm_tests; substrate_tests ]
 
 let run_tables () =
-  let evals, stats = Ba_report.Harness.evaluate_suite_timed Ba_workloads.Spec.all in
+  let registry = Ba_obs.Registry.create () in
+  let evals, stats =
+    Ba_obs.Registry.with_registry registry (fun () ->
+        Ba_report.Harness.evaluate_suite_timed Ba_workloads.Spec.all)
+  in
   print_endline "== Table 1: branch cost model (cycles) ==";
   print_string (Ba_report.Tables.table1 ());
   print_endline "\n== Table 2: measured attributes of the traced programs ==";
@@ -139,7 +143,11 @@ let run_tables () =
   (* Machine-readable timing record for tracking evaluation cost across
      commits; one JSON object per run on a line of its own. *)
   print_endline "\n== Evaluation timings (JSON) ==";
-  print_endline (Ba_util.Json.to_string (Ba_par.Stats.to_json stats))
+  print_endline (Ba_util.Json.to_string (Ba_par.Stats.to_json stats));
+  (* Per-run pipeline metrics record, with wall-clock span times included
+     (this record tracks cost across commits, it is not diffed). *)
+  print_endline "\n== Pipeline metrics (JSON) ==";
+  print_string (Ba_obs.Sink.emit ~times:true Ba_obs.Sink.Json registry)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

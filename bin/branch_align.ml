@@ -128,6 +128,65 @@ let run_cmd name algo arch max_steps =
   in
   print_string (Ba_util.Ascii_table.render ~columns ~rows)
 
+(* Profile, align (unless --algo orig) and simulate one workload, with the
+   Ba_obs registry installed around the whole pipeline so every stage's
+   counters, histograms and spans land in the report. *)
+let simulate_cmd name algo arch max_steps metrics =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let registry =
+    match metrics with None -> None | Some _ -> Some (Ba_obs.Registry.create ())
+  in
+  let collected f =
+    match registry with None -> f () | Some r -> Ba_obs.Registry.with_registry r f
+  in
+  let out =
+    collected (fun () ->
+        let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let image =
+          match algo with
+          | Ba_core.Align.Original -> Ba_layout.Image.original ~profile program
+          | _ -> Ba_core.Align.image algo ~arch profile
+        in
+        let archs =
+          Ba_sim.Bep.Static_likely (Ba_predict.Likely_bits.build image profile)
+          :: bep_archs
+        in
+        Ba_sim.Runner.simulate ~max_steps ~archs image)
+  in
+  Printf.printf "workload %s, algorithm %s, cost model %s: %s branch events in %s instructions\n\n"
+    workload.Ba_workloads.Spec.name
+    (Ba_core.Align.algo_name algo)
+    (Ba_core.Cost_model.arch_name arch)
+    (Ba_util.Ascii_table.int_cell out.Ba_sim.Runner.result.Ba_exec.Engine.branches)
+    (Ba_util.Ascii_table.int_cell out.Ba_sim.Runner.result.Ba_exec.Engine.insns);
+  let columns =
+    Ba_util.Ascii_table.
+      [
+        column ~align:Left "architecture"; column "accuracy%"; column "misfetch";
+        column "mispredict"; column "BEP cycles";
+      ]
+  in
+  let rows =
+    List.map
+      (fun (arch, sim) ->
+        [
+          Ba_sim.Bep.arch_label arch;
+          Ba_util.Ascii_table.float_cell ~decimals:1
+            (100.0 *. Ba_sim.Bep.cond_accuracy sim);
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.misfetches;
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.mispredicts;
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.bep sim);
+        ])
+      out.Ba_sim.Runner.sims
+  in
+  print_string (Ba_util.Ascii_table.render ~columns ~rows);
+  match (metrics, registry) with
+  | Some format, Some r ->
+    print_endline "\n== Pipeline metrics ==";
+    print_string (Ba_obs.Sink.emit format r)
+  | _ -> ()
+
 let hotspots_cmd name top max_steps =
   let workload = lookup name in
   let program = workload.Ba_workloads.Spec.build () in
@@ -527,6 +586,31 @@ let () =
         $ Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id.")
         $ max_steps_arg)
   in
+  let metrics_arg =
+    let doc =
+      "Collect pipeline metrics while profiling, aligning and simulating, and \
+       print them after the table.  $(b,--metrics) prints ASCII tables; \
+       $(b,--metrics=json) prints the deterministic JSON document."
+    in
+    let fmt =
+      Arg.enum [ ("ascii", Ba_obs.Sink.Ascii); ("json", Ba_obs.Sink.Json) ]
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some Ba_obs.Sink.Ascii) (some fmt) None
+      & info [ "metrics" ] ~doc)
+  in
+  let simulate =
+    Cmd.v
+      (Cmd.info "simulate"
+         ~doc:
+           "Profile, align and run a workload through every BEP architecture, \
+            reporting per-architecture accuracy and penalty cycles (use \
+            $(b,--algo orig) for the unaligned layout).")
+      Term.(
+        const simulate_cmd $ workload_arg $ algo_arg $ arch_arg $ max_steps_arg
+        $ metrics_arg)
+  in
   let workload_opt_arg =
     let doc = "Workload to check; omit to check every built-in workload." in
     Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc)
@@ -565,4 +649,4 @@ let () =
        (Cmd.group
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
-          [ run; list; dump; hotspots; record; replay; disasm; lint; verify ]))
+          [ run; list; dump; hotspots; record; replay; disasm; simulate; lint; verify ]))

@@ -48,6 +48,19 @@ let timings_arg =
   let doc = "After the figures, print per-workload evaluation wall times." in
   Arg.(value & flag & info [ "timings" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Collect pipeline metrics (counters, histograms, stage spans) while \
+     evaluating and print them after the figures.  $(b,--metrics) prints \
+     ASCII tables; $(b,--metrics=json) prints a deterministic JSON document \
+     (byte-identical for every $(b,-j); wall times and scheduling-dependent \
+     metrics are elided)."
+  in
+  let fmt =
+    Arg.enum [ ("ascii", Ba_obs.Sink.Ascii); ("json", Ba_obs.Sink.Json) ]
+  in
+  Arg.(value & opt ~vopt:(Some Ba_obs.Sink.Ascii) (some fmt) None & info [ "metrics" ] ~doc)
+
 let evaluate ~max_steps ~tryn ~only ?jobs () =
   Ba_report.Harness.evaluate_suite ~max_steps ~tryn ?jobs (select only)
 
@@ -64,9 +77,16 @@ let run_table which max_steps only tryn jobs =
   in
   print_string (render evals)
 
-let run_all max_steps only tryn jobs timings =
+let run_all max_steps only tryn jobs timings metrics =
+  let registry =
+    match metrics with None -> None | Some _ -> Some (Ba_obs.Registry.create ())
+  in
+  let collected f =
+    match registry with None -> f () | Some r -> Ba_obs.Registry.with_registry r f
+  in
   let evals, stats =
-    Ba_report.Harness.evaluate_suite_timed ~max_steps ~tryn ?jobs (select only)
+    collected (fun () ->
+        Ba_report.Harness.evaluate_suite_timed ~max_steps ~tryn ?jobs (select only))
   in
   print_endline "== Table 1: branch cost model (cycles) ==";
   print_string (Ba_report.Tables.table1 ());
@@ -81,7 +101,12 @@ let run_all max_steps only tryn jobs timings =
   if timings then begin
     print_endline "\n== Per-workload evaluation wall times ==";
     print_string (Ba_par.Stats.render stats)
-  end
+  end;
+  match (metrics, registry) with
+  | Some format, Some r ->
+    print_endline "\n== Pipeline metrics ==";
+    print_string (Ba_obs.Sink.emit format r)
+  | _ -> ()
 
 let calibrate max_steps only =
   let columns =
@@ -525,7 +550,7 @@ let () =
           (Cmd.info "all" ~doc:"Reproduce every table and figure.")
           Term.(
             const run_all $ max_steps_arg $ only_arg $ tryn_arg $ jobs_arg
-            $ timings_arg);
+            $ timings_arg $ metrics_arg);
         cmd2 "calibrate" "Print run lengths of each workload." calibrate;
         cmd2 "ablation-order" "Chain-ordering ablation (§6.1)." ablation_order;
         cmd2 "ablation-tryn" "TryN group-size ablation." ablation_tryn;

@@ -23,8 +23,12 @@ let exact_cost ~arch ?table profile pid decision =
     ~visits:(fun b -> Ba_cfg.Profile.visits profile pid b)
     ~cond_counts linear
 
+let m_model_guard =
+  Ba_obs.Counter.make ~unit_:"procs" "core.align.model_guard"
+
 let align_proc algo ?strategy ?(arch = Cost_model.Btfnt) ?table ?min_weight
     ?(refine_rounds = 1) profile pid =
+  Ba_obs.Span.with_ "align" @@ fun () ->
   let program = Ba_cfg.Profile.program profile in
   let proc = Ba_ir.Program.proc program pid in
   match algo with
@@ -61,7 +65,10 @@ let align_proc algo ?strategy ?(arch = Cost_model.Btfnt) ?table ?min_weight
       let greedy = Ctx.to_decision ?strategy base_ctx (Greedy.build_chains base_ctx) in
       if exact_cost ~arch ?table profile pid greedy
          < exact_cost ~arch ?table profile pid decision
-      then greedy
+      then begin
+        Ba_obs.Counter.incr m_model_guard;
+        greedy
+      end
       else decision)
 
 let align_program algo ?strategy ?arch ?table ?min_weight ?refine_rounds profile =

@@ -32,6 +32,13 @@ let benefit_of_getting ~arch ~table (ctx : Ctx.t) chain p d =
         float_of_int (ctx.Ctx.visits p) *. Cost_model.uncond_cost arch table
       | _ -> 0.0)
 
+let m_link = Ba_obs.Counter.make ~unit_:"edges" "core.align.cost.link"
+
+let m_rejected =
+  Ba_obs.Counter.make ~unit_:"edges" "core.align.cost.link_rejected"
+
+let m_neither = Ba_obs.Counter.make ~unit_:"sites" "core.align.cost.neither"
+
 let build_chains ~arch ?(table = Cost_model.default_table) (ctx : Ctx.t) =
   let chain = Ctx.fresh_chain ctx in
   let decided = Array.make (Ba_ir.Proc.n_blocks ctx.Ctx.proc) false in
@@ -44,6 +51,7 @@ let build_chains ~arch ?(table = Cost_model.default_table) (ctx : Ctx.t) =
            link whenever possible (heavier competitors for [d] were
            processed first). *)
         if Chain.can_link chain ~src:s ~dst:d then begin
+          Ba_obs.Counter.incr m_link;
           Chain.link chain ~src:s ~dst:d;
           decided.(s) <- true
         end
@@ -64,12 +72,14 @@ let build_chains ~arch ?(table = Cost_model.default_table) (ctx : Ctx.t) =
                   else max acc (benefit_of_getting ~arch ~table ctx chain p dst))
                 0.0 ctx.Ctx.preds.(dst)
             in
-            if rival_benefit > my_benefit then ()
+            if rival_benefit > my_benefit then Ba_obs.Counter.incr m_rejected
             else begin
+              Ba_obs.Counter.incr m_link;
               Chain.link chain ~src:s ~dst:dst;
               decided.(s) <- true
             end
           | Options.Neither jump_leg ->
+            Ba_obs.Counter.incr m_neither;
             Chain.forbid_fallthrough ~jump_leg chain s;
             decided.(s) <- true
         end

@@ -1,8 +1,16 @@
+let m_link = Ba_obs.Counter.make ~unit_:"edges" "core.align.greedy.link"
+
+let m_rejected =
+  Ba_obs.Counter.make ~unit_:"edges" "core.align.greedy.link_rejected"
+
 let build_chains (ctx : Ctx.t) =
   let chain = Ctx.fresh_chain ctx in
   List.iter
     (fun ((e : Ba_cfg.Edge.t), _w) ->
-      if Ba_layout.Chain.can_link chain ~src:e.src ~dst:e.dst then
-        Ba_layout.Chain.link chain ~src:e.src ~dst:e.dst)
+      if Ba_layout.Chain.can_link chain ~src:e.src ~dst:e.dst then begin
+        Ba_obs.Counter.incr m_link;
+        Ba_layout.Chain.link chain ~src:e.src ~dst:e.dst
+      end
+      else Ba_obs.Counter.incr m_rejected)
     ctx.Ctx.edges;
   chain

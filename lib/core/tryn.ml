@@ -118,6 +118,15 @@ let rec chunk n = function
     let group, rest = take n [] l in
     group :: chunk n rest
 
+let m_group_size =
+  Ba_obs.Histogram.make ~unit_:"edges"
+    ~buckets:[| 1; 2; 4; 8; 16; 32 |]
+    "core.align.tryn.group_size"
+
+let m_link = Ba_obs.Counter.make ~unit_:"edges" "core.align.tryn.link"
+let m_neither = Ba_obs.Counter.make ~unit_:"sites" "core.align.tryn.neither"
+let m_cold_link = Ba_obs.Counter.make ~unit_:"edges" "core.align.tryn.cold_link"
+
 let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weight = 2)
     (ctx : Ctx.t) =
   if n < 1 then invalid_arg "Tryn.build_chains: n must be positive";
@@ -126,9 +135,14 @@ let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weigh
   let processed = Hashtbl.create 64 in
   List.iter
     (fun group ->
+      Ba_obs.Histogram.observe m_group_size (List.length group);
       List.iter (fun ((e : Ba_cfg.Edge.t), _) -> Hashtbl.replace processed e ()) group;
       let links = search_group ~arch ~table ctx chain group in
-      List.iter (fun (src, dst) -> Chain.link chain ~src ~dst) links;
+      List.iter
+        (fun (src, dst) ->
+          Ba_obs.Counter.incr m_link;
+          Chain.link chain ~src ~dst)
+        links;
       (* A conditional whose legs were all considered and left taken was
          scored as the jump-insertion lowering; pin that decision so a later
          chain ordering cannot accidentally make a leg adjacent. *)
@@ -142,6 +156,7 @@ let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weigh
                  && Hashtbl.mem processed { Ba_cfg.Edge.src = s; dst = d2; kind = On_false }
             ->
             let jump_leg, _ = Options.best_neither ~arch ~table ctx s ~legs in
+            Ba_obs.Counter.incr m_neither;
             Chain.forbid_fallthrough ~jump_leg chain s
           | Some _ | None -> ())
         (distinct_sources group))
@@ -151,6 +166,9 @@ let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weigh
   List.iter
     (fun ((e : Ba_cfg.Edge.t), _) ->
       if (not (Hashtbl.mem processed e)) && Chain.can_link chain ~src:e.src ~dst:e.dst
-      then Chain.link chain ~src:e.src ~dst:e.dst)
+      then begin
+        Ba_obs.Counter.incr m_cold_link;
+        Chain.link chain ~src:e.src ~dst:e.dst
+      end)
     cold;
   chain

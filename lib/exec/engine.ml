@@ -35,6 +35,12 @@ let cond_behavior (image : Image.t) p b =
 
 type site_state = { behavior : Behavior.t; state : Behavior.state }
 
+let m_runs = Ba_obs.Counter.make ~unit_:"runs" "exec.engine.runs"
+let m_steps = Ba_obs.Counter.make ~unit_:"blocks" "exec.engine.steps"
+let m_insns = Ba_obs.Counter.make ~unit_:"insns" "exec.engine.insns"
+let m_branches = Ba_obs.Counter.make ~unit_:"branches" "exec.engine.branches"
+let m_truncated = Ba_obs.Counter.make ~unit_:"runs" "exec.engine.truncated"
+
 type resume =
   | Next_pos of int  (* continue at this layout position of the caller *)
   | Via_jump of { jump_pc : int; target_pos : int }
@@ -201,9 +207,15 @@ let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profi
       incr insns;
       halt ()
   done;
+  Ba_obs.Counter.incr m_runs;
+  Ba_obs.Counter.add m_steps !steps;
+  Ba_obs.Counter.add m_insns !insns;
+  Ba_obs.Counter.add m_branches !branches;
+  if not !completed then Ba_obs.Counter.incr m_truncated;
   { insns = !insns; steps = !steps; branches = !branches; completed = !completed }
 
 let profile_program ?max_steps program =
+  Ba_obs.Span.with_ "profile" @@ fun () ->
   let profile = Ba_cfg.Profile.create program in
   let image = Image.original program in
   let (_ : result) = run ~profile ?max_steps image in

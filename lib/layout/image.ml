@@ -6,6 +6,7 @@ type t = {
 }
 
 let build ?profile program decisions =
+  Ba_obs.Span.with_ "lower" @@ fun () ->
   let n = Ba_ir.Program.n_procs program in
   if Array.length decisions <> n then
     invalid_arg "Image.build: one decision per procedure required";

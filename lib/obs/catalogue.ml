@@ -1,0 +1,83 @@
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type def = {
+  name : string;
+  kind : kind;
+  unit_ : string;
+  volatile : bool;
+  buckets : int array;
+}
+
+(* The catalogue is process-global and written from module initialisers and
+   from dynamic registrations (per-architecture counters created at
+   simulator construction time, possibly on a pool worker domain), so every
+   access takes the mutex. *)
+let mutex = Mutex.create ()
+let table : (string, def) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+(* Powers of two up to 64 Ki: structure depths and sizes (return-stack
+   depth, TryN group size, pool batch width) all live comfortably here. *)
+let default_buckets =
+  Array.init 17 (fun i -> 1 lsl i)
+
+let check_name name =
+  if name = "" then invalid_arg "Catalogue.register: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' -> ()
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Catalogue.register: invalid character %C in metric name %S"
+             c name))
+    name
+
+let register ?(unit_ = "events") ?(volatile = false) ?buckets kind name =
+  check_name name;
+  let buckets =
+    match kind with
+    | Histogram -> (
+      match buckets with
+      | Some b ->
+        if Array.length b = 0 then
+          invalid_arg "Catalogue.register: histogram needs at least one bucket";
+        Array.iteri
+          (fun i _ ->
+            if i > 0 && b.(i) <= b.(i - 1) then
+              invalid_arg "Catalogue.register: bucket bounds must be increasing")
+          b;
+        b
+      | None -> default_buckets)
+    | Counter | Gauge -> [||]
+  in
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some existing ->
+        if existing.kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Catalogue.register: %s already registered as a %s" name
+               (kind_name existing.kind));
+        (* First registration wins: every handle for a name shares one
+           definition, so histogram cells always agree on bucket bounds. *)
+        existing
+      | None ->
+        let def = { name; kind; unit_; volatile; buckets } in
+        Hashtbl.add table name def;
+        def)
+
+let find name = locked (fun () -> Hashtbl.find_opt table name)
+
+let all () =
+  locked (fun () ->
+      List.sort
+        (fun a b -> compare a.name b.name)
+        (Hashtbl.fold (fun _ d acc -> d :: acc) table []))

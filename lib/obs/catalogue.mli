@@ -1,0 +1,35 @@
+(** The process-global catalogue of metric definitions.
+
+    Every metric handle ({!Ba_obs.Counter}, {!Ba_obs.Gauge},
+    {!Ba_obs.Histogram}) is backed by a catalogue entry keyed by its stable
+    hierarchical name (["predict.pht.hit"], ["par.memo.miss"], ...).  The
+    catalogue makes names first-class: sinks can report a metric's unit,
+    tests can assert a name exists, and registries created on different
+    domains agree on histogram bucket bounds because the first registration
+    of a name wins. *)
+
+type kind = Counter | Gauge | Histogram
+
+val kind_name : kind -> string
+
+type def = private {
+  name : string;
+  kind : kind;
+  unit_ : string;  (** e.g. ["events"], ["cycles"], ["blocks"] — documentation only *)
+  volatile : bool;
+      (** scheduling-dependent (pool steals, occupancy): excluded from
+          deterministic sink output by default *)
+  buckets : int array;  (** histogram upper bounds; [[||]] for other kinds *)
+}
+
+val register : ?unit_:string -> ?volatile:bool -> ?buckets:int array -> kind -> string -> def
+(** [register kind name] returns the definition for [name], creating it on
+    first use.  Re-registering an existing name returns the original
+    definition (its unit, volatility and buckets are kept); registering the
+    same name with a different [kind] raises [Invalid_argument], as do
+    empty/ill-formed names and non-increasing bucket bounds. *)
+
+val find : string -> def option
+
+val all : unit -> def list
+(** Every registered definition, sorted by name. *)

@@ -1,0 +1,12 @@
+type t = Catalogue.def
+
+let make ?unit_ ?volatile name = Catalogue.register ?unit_ ?volatile Catalogue.Counter name
+
+let name (t : t) = t.Catalogue.name
+
+let add t n =
+  match Registry.current () with
+  | None -> ()
+  | Some r -> Registry.add_counter r t n
+
+let incr t = add t 1

@@ -1,0 +1,13 @@
+(** Monotonic event counters.
+
+    [make] is cheap and idempotent (handles are catalogue entries); keep
+    handles at module scope for hot paths.  [incr]/[add] record into the
+    calling domain's current registry and are single-branch no-ops when
+    collection is off. *)
+
+type t
+
+val make : ?unit_:string -> ?volatile:bool -> string -> t
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit

@@ -1,0 +1,10 @@
+type t = Catalogue.def
+
+let make ?unit_ ?volatile name = Catalogue.register ?unit_ ?volatile Catalogue.Gauge name
+
+let name (t : t) = t.Catalogue.name
+
+let set t v =
+  match Registry.current () with
+  | None -> ()
+  | Some r -> Registry.set_gauge r t v

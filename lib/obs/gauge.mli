@@ -1,0 +1,11 @@
+(** Last-write-wins point-in-time values (pool width, table occupancy).
+
+    Under the task-order registry merge, the value observed is the one the
+    last task (in input order) set — the same a sequential run would leave
+    behind. *)
+
+type t
+
+val make : ?unit_:string -> ?volatile:bool -> string -> t
+val name : t -> string
+val set : t -> int -> unit

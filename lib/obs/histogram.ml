@@ -1,0 +1,11 @@
+type t = Catalogue.def
+
+let make ?unit_ ?volatile ?buckets name =
+  Catalogue.register ?unit_ ?volatile ?buckets Catalogue.Histogram name
+
+let name (t : t) = t.Catalogue.name
+
+let observe t v =
+  match Registry.current () with
+  | None -> ()
+  | Some r -> Registry.observe r t v

@@ -1,0 +1,10 @@
+(** Integer-valued distribution metrics (return-stack depth, TryN group
+    size).  Buckets are upper bounds — a value lands in the first bucket
+    whose bound is [>= v], or in the final overflow slot; the default
+    bucket set is powers of two up to 64 Ki. *)
+
+type t
+
+val make : ?unit_:string -> ?volatile:bool -> ?buckets:int array -> string -> t
+val name : t -> string
+val observe : t -> int -> unit

@@ -1,0 +1,256 @@
+type hsnap = {
+  bounds : int array;
+  counts : int array;  (* one slot per bound, plus an overflow slot *)
+  total : int;
+  sum : int;
+  max_value : int;
+}
+
+type cell =
+  | Counter_cell of int ref
+  | Gauge_cell of { mutable value : int; mutable set : bool }
+  | Histogram_cell of {
+      bounds : int array;
+      counts : int array;
+      mutable total : int;
+      mutable sum : int;
+      mutable max_value : int;
+    }
+
+type snode = {
+  mutable s_count : int;
+  mutable s_seconds : float;
+  s_children : (string, snode) Hashtbl.t;
+}
+
+type span = { name : string; count : int; seconds : float; children : span list }
+
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  s_root : snode;
+  mutable s_stack : snode list;  (* non-empty; head is the open span *)
+}
+
+let fresh_snode () = { s_count = 0; s_seconds = 0.0; s_children = Hashtbl.create 4 }
+
+let create () =
+  let root = fresh_snode () in
+  { cells = Hashtbl.create 64; s_root = root; s_stack = [ root ] }
+
+(* A registry is deliberately not thread-safe: collection installs one
+   registry per domain (the pool gives each task its own and merges them in
+   task order), so cell updates never race.  The "current registry" is
+   domain-local state. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get current_key
+let set_current r = Domain.DLS.set current_key r
+
+let with_registry r f =
+  let prev = current () in
+  set_current (Some r);
+  Fun.protect ~finally:(fun () -> set_current prev) f
+
+(* -- cells ------------------------------------------------------------------ *)
+
+let cell t (def : Catalogue.def) =
+  match Hashtbl.find_opt t.cells def.Catalogue.name with
+  | Some c -> c
+  | None ->
+    let c =
+      match def.Catalogue.kind with
+      | Catalogue.Counter -> Counter_cell (ref 0)
+      | Catalogue.Gauge -> Gauge_cell { value = 0; set = false }
+      | Catalogue.Histogram ->
+        Histogram_cell
+          {
+            bounds = def.Catalogue.buckets;
+            counts = Array.make (Array.length def.Catalogue.buckets + 1) 0;
+            total = 0;
+            sum = 0;
+            max_value = min_int;
+          }
+    in
+    Hashtbl.add t.cells def.Catalogue.name c;
+    c
+
+let add_counter t def n =
+  match cell t def with
+  | Counter_cell c -> c := !c + n
+  | Gauge_cell _ | Histogram_cell _ ->
+    invalid_arg (Printf.sprintf "Registry.add_counter: %s is not a counter" def.Catalogue.name)
+
+let set_gauge t def v =
+  match cell t def with
+  | Gauge_cell g ->
+    g.value <- v;
+    g.set <- true
+  | Counter_cell _ | Histogram_cell _ ->
+    invalid_arg (Printf.sprintf "Registry.set_gauge: %s is not a gauge" def.Catalogue.name)
+
+let observe t def v =
+  match cell t def with
+  | Histogram_cell h ->
+    let n = Array.length h.bounds in
+    let rec slot i = if i = n || v <= h.bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.total <- h.total + 1;
+    h.sum <- h.sum + v;
+    if v > h.max_value then h.max_value <- v
+  | Counter_cell _ | Gauge_cell _ ->
+    invalid_arg (Printf.sprintf "Registry.observe: %s is not a histogram" def.Catalogue.name)
+
+(* -- spans ------------------------------------------------------------------ *)
+
+type node = snode
+
+let span_cursor t = match t.s_stack with n :: _ -> n | [] -> t.s_root
+
+let enter_span t name =
+  let parent = span_cursor t in
+  let node =
+    match Hashtbl.find_opt parent.s_children name with
+    | Some n -> n
+    | None ->
+      let n = fresh_snode () in
+      Hashtbl.add parent.s_children name n;
+      n
+  in
+  t.s_stack <- node :: t.s_stack;
+  node
+
+let exit_span t node seconds =
+  (match t.s_stack with
+  | top :: rest when top == node -> t.s_stack <- rest
+  | _ ->
+    (* Mismatched enter/exit can only come from a bug in Span; fail loudly
+       rather than corrupt the tree. *)
+    invalid_arg "Registry.exit_span: span stack mismatch");
+  node.s_count <- node.s_count + 1;
+  node.s_seconds <- node.s_seconds +. seconds
+
+(* -- merge ------------------------------------------------------------------ *)
+
+let rec merge_snode ~into src =
+  into.s_count <- into.s_count + src.s_count;
+  into.s_seconds <- into.s_seconds +. src.s_seconds;
+  Hashtbl.iter
+    (fun name child ->
+      let dst_child =
+        match Hashtbl.find_opt into.s_children name with
+        | Some n -> n
+        | None ->
+          let n = fresh_snode () in
+          Hashtbl.add into.s_children name n;
+          n
+      in
+      merge_snode ~into:dst_child child)
+    src.s_children
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name src_cell ->
+      match (Hashtbl.find_opt into.cells name, src_cell) with
+      | None, Counter_cell c -> Hashtbl.add into.cells name (Counter_cell (ref !c))
+      | None, Gauge_cell g ->
+        Hashtbl.add into.cells name (Gauge_cell { value = g.value; set = g.set })
+      | None, Histogram_cell h ->
+        Hashtbl.add into.cells name
+          (Histogram_cell
+             {
+               bounds = h.bounds;
+               counts = Array.copy h.counts;
+               total = h.total;
+               sum = h.sum;
+               max_value = h.max_value;
+             })
+      | Some (Counter_cell dst), Counter_cell src -> dst := !dst + !src
+      | Some (Gauge_cell dst), Gauge_cell src ->
+        (* Task-order merge: a later task's set wins, as it would have in a
+           sequential run. *)
+        if src.set then begin
+          dst.value <- src.value;
+          dst.set <- true
+        end
+      | Some (Histogram_cell dst), Histogram_cell src ->
+        if Array.length dst.counts <> Array.length src.counts then
+          invalid_arg
+            (Printf.sprintf "Registry.merge_into: %s has mismatched buckets" name);
+        Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+        dst.total <- dst.total + src.total;
+        dst.sum <- dst.sum + src.sum;
+        dst.max_value <- max dst.max_value src.max_value
+      | Some _, _ ->
+        invalid_arg (Printf.sprintf "Registry.merge_into: %s changed kind" name))
+    src.cells;
+  (* Spans merge under the destination's open span, so work collected from
+     pool tasks nests below whatever stage the submitter had open. *)
+  merge_snode ~into:(span_cursor into) src.s_root
+
+(* -- snapshots -------------------------------------------------------------- *)
+
+let sorted_fold f t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun name c acc -> match f c with Some v -> (name, v) :: acc | None -> acc)
+       t.cells [])
+
+let counters t =
+  sorted_fold (function Counter_cell c -> Some !c | _ -> None) t
+
+let gauges t =
+  sorted_fold (function Gauge_cell g when g.set -> Some g.value | _ -> None) t
+
+let histograms t =
+  sorted_fold
+    (function
+      | Histogram_cell h ->
+        Some
+          {
+            bounds = h.bounds;
+            counts = Array.copy h.counts;
+            total = h.total;
+            sum = h.sum;
+            max_value = h.max_value;
+          }
+      | _ -> None)
+    t
+
+let counter_value t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Counter_cell c) -> !c
+  | Some _ | None -> 0
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Gauge_cell g) when g.set -> Some g.value
+  | Some _ | None -> None
+
+let histogram_snapshot t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Histogram_cell h) ->
+    Some
+      {
+        bounds = h.bounds;
+        counts = Array.copy h.counts;
+        total = h.total;
+        sum = h.sum;
+        max_value = h.max_value;
+      }
+  | Some _ | None -> None
+
+let rec snapshot_snode name node =
+  {
+    name;
+    count = node.s_count;
+    seconds = node.s_seconds;
+    children =
+      List.sort
+        (fun a b -> compare a.name b.name)
+        (Hashtbl.fold (fun n c acc -> snapshot_snode n c :: acc) node.s_children []);
+  }
+
+let spans t = (snapshot_snode "" t.s_root).children
+
+let is_empty t = Hashtbl.length t.cells = 0 && Hashtbl.length t.s_root.s_children = 0

@@ -1,0 +1,75 @@
+(** Metric registries: where counters, gauges, histograms and spans record.
+
+    A registry is a plain single-domain container.  Collection is off by
+    default — metric handles are no-ops until a registry is installed with
+    {!with_registry} (one conditional branch per operation when disabled).
+    Parallel code gives each task its own registry and merges them in task
+    order ({!merge_into}), which is how every observable number stays
+    deterministic under [-j]: counters and histograms are sums, a gauge
+    keeps the last task-order write, spans accumulate under the
+    submitter's open span. *)
+
+type hsnap = {
+  bounds : int array;
+  counts : int array;  (** one slot per bound, plus a final overflow slot *)
+  total : int;
+  sum : int;
+  max_value : int;  (** [min_int] when [total = 0] *)
+}
+
+type span = { name : string; count : int; seconds : float; children : span list }
+
+type t
+
+val create : unit -> t
+
+val current : unit -> t option
+(** The registry installed on the calling domain, if any. *)
+
+val set_current : t option -> unit
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** [with_registry r f] installs [r] as the calling domain's current
+    registry for the duration of [f], restoring the previous one after
+    (exceptions included). *)
+
+val add_counter : t -> Catalogue.def -> int -> unit
+val set_gauge : t -> Catalogue.def -> int -> unit
+val observe : t -> Catalogue.def -> int -> unit
+(** The typed mutators behind the metric handles; each finds-or-creates the
+    cell for [def] and updates it. *)
+
+type node
+(** An open span; only {!Span} uses these. *)
+
+val enter_span : t -> string -> node
+(** Open (or re-open) the named child of the current span and make it
+    current. *)
+
+val exit_span : t -> node -> float -> unit
+(** Close [node], adding one visit and [seconds] to it.  Raises
+    [Invalid_argument] if [node] is not the innermost open span. *)
+
+val merge_into : into:t -> t -> unit
+(** Merge a task registry into a parent.  Raises [Invalid_argument] if a
+    name changed kind or histogram shape between the two (impossible when
+    all handles come from {!Catalogue}). *)
+
+val counters : t -> (string * int) list
+(** Counter cells, sorted by name. *)
+
+val gauges : t -> (string * int) list
+(** Gauge cells that were actually set, sorted by name. *)
+
+val histograms : t -> (string * hsnap) list
+
+val counter_value : t -> string -> int
+(** [0] when the counter never fired. *)
+
+val gauge_value : t -> string -> int option
+val histogram_snapshot : t -> string -> hsnap option
+
+val spans : t -> span list
+(** Top-level spans, children sorted by name at every level. *)
+
+val is_empty : t -> bool

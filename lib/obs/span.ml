@@ -1,0 +1,9 @@
+let with_ name f =
+  match Registry.current () with
+  | None -> f ()
+  | Some r ->
+    let node = Registry.enter_span r name in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> Registry.exit_span r node (Unix.gettimeofday () -. t0))
+      f

@@ -21,10 +21,16 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Which task records the one miss for a shared key is scheduling-dependent,
+   but the totals are not: one miss per key, hits = gets - misses. *)
+let m_hit = Ba_obs.Counter.make ~unit_:"gets" "par.memo.hit"
+let m_miss = Ba_obs.Counter.make ~unit_:"gets" "par.memo.miss"
+
 let get t ~key compute =
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
   | Some cell ->
+    Ba_obs.Counter.incr m_hit;
     t.hit_count <- t.hit_count + 1;
     let rec await () =
       match !cell with
@@ -42,6 +48,7 @@ let get t ~key compute =
   | None ->
     let cell = ref Pending in
     Hashtbl.add t.table key cell;
+    Ba_obs.Counter.incr m_miss;
     t.miss_count <- t.miss_count + 1;
     Mutex.unlock t.mutex;
     (* Compute outside the lock so unrelated keys proceed in parallel. *)

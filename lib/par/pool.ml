@@ -146,17 +146,41 @@ let run_batch t b =
   in
   participate ()
 
+let m_batches = Ba_obs.Counter.make ~unit_:"batches" "par.pool.batch"
+let m_tasks = Ba_obs.Counter.make ~unit_:"tasks" "par.pool.tasks"
+let m_steal = Ba_obs.Counter.make ~unit_:"tasks" ~volatile:true "par.pool.steal"
+let m_jobs = Ba_obs.Gauge.make ~unit_:"domains" ~volatile:true "par.pool.jobs"
+
 (* The shared core: run [n] tasks, fill task-indexed result slots, raise the
    lowest-indexed task exception (what a sequential left-to-right run would
-   surface) after the batch drains. *)
+   surface) after the batch drains.
+
+   When the submitting domain has a metrics registry installed, each task
+   gets a fresh registry for its duration (workers never share one), and all
+   task registries merge into the submitter's in task order once the batch
+   has drained — so every counter total is independent of scheduling. *)
 let run_indexed t ~times n task =
   if n > 0 then begin
+    let parent = Ba_obs.Registry.current () in
+    let task_regs =
+      match parent with
+      | None -> [||]
+      | Some _ -> Array.init n (fun _ -> Ba_obs.Registry.create ())
+    in
+    let submitter = Domain.self () in
+    let instrumented i =
+      if Array.length task_regs = 0 then (task i : (_, exn) result)
+      else
+        Ba_obs.Registry.with_registry task_regs.(i) (fun () ->
+            if not (Domain.self () = submitter) then Ba_obs.Counter.incr m_steal;
+            task i)
+    in
     let timed i =
       match times with
-      | None -> ignore (task i : (_, exn) result)
+      | None -> ignore (instrumented i : (_, exn) result)
       | Some ts ->
         let t0 = Unix.gettimeofday () in
-        ignore (task i : (_, exn) result);
+        ignore (instrumented i : (_, exn) result);
         ts.(i) <- Unix.gettimeofday () -. t0
     in
     if t.n_jobs = 1 || n = 1 || Domain.DLS.get in_task then
@@ -166,7 +190,14 @@ let run_indexed t ~times n task =
       for i = 0 to n - 1 do
         timed i
       done
-    else run_batch t { run = timed; n; next = 0; unfinished = n }
+    else run_batch t { run = timed; n; next = 0; unfinished = n };
+    match parent with
+    | None -> ()
+    | Some p ->
+      Array.iter (fun r -> Ba_obs.Registry.merge_into ~into:p r) task_regs;
+      Ba_obs.Counter.incr m_batches;
+      Ba_obs.Counter.add m_tasks n;
+      Ba_obs.Gauge.set m_jobs t.n_jobs
   end
 
 let extract results =

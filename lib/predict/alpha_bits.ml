@@ -27,6 +27,9 @@ let locate t ~pc =
   let line = t.lines.(line_no land t.line_mask) in
   (line, line_no, pc mod t.insns_per_line)
 
+let m_refill = Ba_obs.Counter.make ~unit_:"events" "predict.alpha.refill"
+let m_cold = Ba_obs.Counter.make ~unit_:"events" "predict.alpha.cold"
+
 let refill line tag =
   line.tag <- tag;
   Array.fill line.valid 0 (Array.length line.valid) false
@@ -34,10 +37,16 @@ let refill line tag =
 let predict t ~pc ~taken_target =
   let line, tag, slot = locate t ~pc in
   if line.tag = tag && line.valid.(slot) then line.bits.(slot)
-  else taken_target <= pc (* static BT/FNT on a cold bit *)
+  else begin
+    Ba_obs.Counter.incr m_cold;
+    taken_target <= pc (* static BT/FNT on a cold bit *)
+  end
 
 let update t ~pc ~taken =
   let line, tag, slot = locate t ~pc in
-  if line.tag <> tag then refill line tag;
+  if line.tag <> tag then begin
+    Ba_obs.Counter.incr m_refill;
+    refill line tag
+  end;
   line.bits.(slot) <- taken;
   line.valid.(slot) <- true

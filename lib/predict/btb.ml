@@ -13,6 +13,12 @@ type t = {
 
 type lookup = Hit of { target : int; predict_taken : bool } | Miss
 
+let m_lookup = Ba_obs.Counter.make ~unit_:"events" "predict.btb.lookup"
+let m_hit = Ba_obs.Counter.make ~unit_:"events" "predict.btb.hit"
+let m_miss = Ba_obs.Counter.make ~unit_:"events" "predict.btb.miss"
+let m_alloc = Ba_obs.Counter.make ~unit_:"events" "predict.btb.alloc"
+let m_evict = Ba_obs.Counter.make ~unit_:"events" "predict.btb.evict"
+
 let create ~entries ~assoc =
   if assoc <= 0 || entries <= 0 || entries mod assoc <> 0 then
     invalid_arg "Btb.create: entries must be a positive multiple of assoc";
@@ -38,10 +44,14 @@ let find_way set ~pc =
   scan 0
 
 let lookup t ~pc =
+  Ba_obs.Counter.incr m_lookup;
   match find_way (set_of t ~pc) ~pc with
   | Some e ->
+    Ba_obs.Counter.incr m_hit;
     Hit { target = e.target; predict_taken = Counter2.predict (Counter2.of_int e.counter) }
-  | None -> Miss
+  | None ->
+    Ba_obs.Counter.incr m_miss;
+    Miss
 
 let touch t e =
   t.clock <- t.clock + 1;
@@ -59,6 +69,8 @@ let update t ~pc ~taken ~target =
       (* Allocate, evicting the LRU way (invalid entries have stamp 0 and
          lose ties, so they are filled first). *)
       let victim = Array.fold_left (fun acc e -> if e.stamp < acc.stamp then e else acc) set.(0) set in
+      Ba_obs.Counter.incr m_alloc;
+      if victim.tag >= 0 then Ba_obs.Counter.incr m_evict;
       victim.tag <- pc;
       victim.target <- target;
       victim.counter <- (Counter2.strongly_taken :> int);

@@ -3,8 +3,19 @@ type t = int
 let initial = 1
 let strongly_taken = 3
 
+let m_sat_hi = Ba_obs.Counter.make ~unit_:"updates" "predict.counter2.sat_hi"
+let m_sat_lo = Ba_obs.Counter.make ~unit_:"updates" "predict.counter2.sat_lo"
+
 let predict c = c >= 2
 
-let update c ~taken = if taken then min 3 (c + 1) else max 0 (c - 1)
+let update c ~taken =
+  if taken then begin
+    if c = 3 then Ba_obs.Counter.incr m_sat_hi;
+    min 3 (c + 1)
+  end
+  else begin
+    if c = 0 then Ba_obs.Counter.incr m_sat_lo;
+    max 0 (c - 1)
+  end
 
 let of_int n = max 0 (min 3 n)

@@ -25,7 +25,11 @@ let create ?(lines = 256) ?(insns_per_line = 8) ?(assoc = 1) () =
     misses = 0;
   }
 
+let m_access = Ba_obs.Counter.make ~unit_:"lines" "predict.icache.access"
+let m_miss = Ba_obs.Counter.make ~unit_:"lines" "predict.icache.miss"
+
 let access_line t line_no =
+  Ba_obs.Counter.incr m_access;
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
   let set = t.sets.(line_no land t.set_mask) in
@@ -34,6 +38,7 @@ let access_line t line_no =
   match find 0 with
   | Some way -> set.stamps.(way) <- t.clock
   | None ->
+    Ba_obs.Counter.incr m_miss;
     t.misses <- t.misses + 1;
     (* Evict the LRU way (invalid ways have stamp 0 and lose ties). *)
     let victim = ref 0 in

@@ -2,10 +2,15 @@ type scheme = Direct | Gshare of { history_bits : int }
 
 type t = {
   table : int array;  (* Counter2 states *)
+  owner : int array;  (* last updating pc per entry; -1 = untouched. Metric-only. *)
   mask : int;
   scheme : scheme;
   mutable history : int;
 }
+
+let m_lookup = Ba_obs.Counter.make ~unit_:"events" "predict.pht.lookup"
+let m_hit = Ba_obs.Counter.make ~unit_:"events" "predict.pht.hit"
+let m_alias = Ba_obs.Counter.make ~unit_:"events" "predict.pht.alias"
 
 let check_power_of_two n =
   if n <= 0 || n land (n - 1) <> 0 then
@@ -15,6 +20,7 @@ let create_direct ~entries =
   check_power_of_two entries;
   {
     table = Array.make entries (Counter2.initial :> int);
+    owner = Array.make entries (-1);
     mask = entries - 1;
     scheme = Direct;
     history = 0;
@@ -26,6 +32,7 @@ let create_gshare ~entries ~history_bits =
     invalid_arg "Pht.create_gshare: history_bits out of range";
   {
     table = Array.make entries (Counter2.initial :> int);
+    owner = Array.make entries (-1);
     mask = entries - 1;
     scheme = Gshare { history_bits };
     history = 0;
@@ -36,10 +43,16 @@ let index t ~pc =
   | Direct -> pc land t.mask
   | Gshare _ -> (pc lxor t.history) land t.mask
 
-let predict t ~pc = Counter2.predict (Counter2.of_int t.table.(index t ~pc))
+let predict t ~pc =
+  Ba_obs.Counter.incr m_lookup;
+  Counter2.predict (Counter2.of_int t.table.(index t ~pc))
 
 let update t ~pc ~taken =
   let i = index t ~pc in
+  if Counter2.predict (Counter2.of_int t.table.(i)) = taken then
+    Ba_obs.Counter.incr m_hit;
+  if t.owner.(i) >= 0 && t.owner.(i) <> pc then Ba_obs.Counter.incr m_alias;
+  t.owner.(i) <- pc;
   t.table.(i) <- (Counter2.update (Counter2.of_int t.table.(i)) ~taken :> int);
   match t.scheme with
   | Direct -> ()

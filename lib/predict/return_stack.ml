@@ -10,13 +10,30 @@ let create ~depth =
 
 let depth t = Array.length t.slots
 
+let m_push = Ba_obs.Counter.make ~unit_:"events" "predict.ras.push"
+let m_pop = Ba_obs.Counter.make ~unit_:"events" "predict.ras.pop"
+let m_overflow = Ba_obs.Counter.make ~unit_:"events" "predict.ras.overflow"
+let m_underflow = Ba_obs.Counter.make ~unit_:"events" "predict.ras.underflow"
+
+let m_depth =
+  Ba_obs.Histogram.make ~unit_:"entries"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128 |]
+    "predict.ras.depth"
+
 let push t addr =
+  Ba_obs.Counter.incr m_push;
+  if t.count = Array.length t.slots then Ba_obs.Counter.incr m_overflow;
   t.slots.(t.top) <- addr;
   t.top <- (t.top + 1) mod Array.length t.slots;
-  t.count <- min (t.count + 1) (Array.length t.slots)
+  t.count <- min (t.count + 1) (Array.length t.slots);
+  Ba_obs.Histogram.observe m_depth t.count
 
 let pop t =
-  if t.count = 0 then None
+  Ba_obs.Counter.incr m_pop;
+  if t.count = 0 then begin
+    Ba_obs.Counter.incr m_underflow;
+    None
+  end
   else begin
     t.top <- (t.top + Array.length t.slots - 1) mod Array.length t.slots;
     t.count <- t.count - 1;

@@ -34,10 +34,17 @@ let index t ~pc =
   | Global { history } -> history land t.pattern_mask
   | Local { histories; branch_mask } -> histories.(pc land branch_mask) land t.pattern_mask
 
-let predict t ~pc = Counter2.predict (Counter2.of_int t.pattern.(index t ~pc))
+let m_lookup = Ba_obs.Counter.make ~unit_:"events" "predict.two_level.lookup"
+let m_hit = Ba_obs.Counter.make ~unit_:"events" "predict.two_level.hit"
+
+let predict t ~pc =
+  Ba_obs.Counter.incr m_lookup;
+  Counter2.predict (Counter2.of_int t.pattern.(index t ~pc))
 
 let update t ~pc ~taken =
   let i = index t ~pc in
+  if Counter2.predict (Counter2.of_int t.pattern.(i)) = taken then
+    Ba_obs.Counter.incr m_hit;
   t.pattern.(i) <- (Counter2.update (Counter2.of_int t.pattern.(i)) ~taken :> int);
   let bit = if taken then 1 else 0 in
   match t.scheme with

@@ -49,7 +49,24 @@ type t = {
   ras : Return_stack.t;
   penalties : penalties;
   mutable c : counts;
+  m_arch_penalty : Ba_obs.Counter.t;  (* sim.bep.arch.<label>.penalty_cycles *)
 }
+
+let m_misfetch = Ba_obs.Counter.make ~unit_:"events" "sim.bep.misfetch"
+let m_mispredict = Ba_obs.Counter.make ~unit_:"events" "sim.bep.mispredict"
+let m_misfetch_cycles = Ba_obs.Counter.make ~unit_:"cycles" "sim.bep.misfetch_cycles"
+
+let m_mispredict_cycles =
+  Ba_obs.Counter.make ~unit_:"cycles" "sim.bep.mispredict_cycles"
+
+let m_cond = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.cond"
+let m_cond_taken = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.cond_taken"
+let m_cond_correct = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.cond_correct"
+let m_uncond = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.uncond"
+let m_call = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.call"
+let m_indirect = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.indirect"
+let m_ret = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.ret"
+let m_ret_correct = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.ret_correct"
 
 let zero_counts =
   {
@@ -78,19 +95,43 @@ let create ?(penalties = default_penalties) ?(return_stack_depth = 32) arch =
       Adaptive (Two_level.create_local ~history_bits ~branch_entries ())
     | Btb_arch { entries; assoc } -> Buffer (Btb.create ~entries ~assoc)
   in
-  { predictor; ras = Return_stack.create ~depth:return_stack_depth; penalties; c = zero_counts }
+  {
+    predictor;
+    ras = Return_stack.create ~depth:return_stack_depth;
+    penalties;
+    c = zero_counts;
+    m_arch_penalty =
+      Ba_obs.Counter.make ~unit_:"cycles"
+        (Printf.sprintf "sim.bep.arch.%s.penalty_cycles" (arch_label arch));
+  }
 
-let misfetch t = t.c <- { t.c with misfetches = t.c.misfetches + 1 }
-let mispredict t = t.c <- { t.c with mispredicts = t.c.mispredicts + 1 }
+let misfetch t =
+  Ba_obs.Counter.incr m_misfetch;
+  Ba_obs.Counter.add m_misfetch_cycles t.penalties.misfetch;
+  Ba_obs.Counter.add t.m_arch_penalty t.penalties.misfetch;
+  t.c <- { t.c with misfetches = t.c.misfetches + 1 }
+
+let mispredict t =
+  Ba_obs.Counter.incr m_mispredict;
+  Ba_obs.Counter.add m_mispredict_cycles t.penalties.mispredict;
+  Ba_obs.Counter.add t.m_arch_penalty t.penalties.mispredict;
+  t.c <- { t.c with mispredicts = t.c.mispredicts + 1 }
 
 let on_cond t (e : Event.t) ~taken ~taken_target =
+  Ba_obs.Counter.incr m_cond;
   t.c <- { t.c with cond = t.c.cond + 1 };
-  if taken then t.c <- { t.c with cond_taken = t.c.cond_taken + 1 };
+  if taken then begin
+    Ba_obs.Counter.incr m_cond_taken;
+    t.c <- { t.c with cond_taken = t.c.cond_taken + 1 }
+  end;
   match t.predictor with
   | Rule rule ->
     let predicted = Static_rule.predict_taken rule ~pc:e.pc ~taken_target in
     if predicted = taken then begin
-      t.c <- { t.c with cond_correct = t.c.cond_correct + 1 };
+      begin
+        Ba_obs.Counter.incr m_cond_correct;
+        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
+      end;
       if taken then misfetch t
     end
     else mispredict t
@@ -98,7 +139,10 @@ let on_cond t (e : Event.t) ~taken ~taken_target =
     let predicted = Pht.predict pht ~pc:e.pc in
     Pht.update pht ~pc:e.pc ~taken;
     if predicted = taken then begin
-      t.c <- { t.c with cond_correct = t.c.cond_correct + 1 };
+      begin
+        Ba_obs.Counter.incr m_cond_correct;
+        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
+      end;
       if taken then misfetch t
     end
     else mispredict t
@@ -106,7 +150,10 @@ let on_cond t (e : Event.t) ~taken ~taken_target =
     let predicted = Two_level.predict two ~pc:e.pc in
     Two_level.update two ~pc:e.pc ~taken;
     if predicted = taken then begin
-      t.c <- { t.c with cond_correct = t.c.cond_correct + 1 };
+      begin
+        Ba_obs.Counter.incr m_cond_correct;
+        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
+      end;
       if taken then misfetch t
     end
     else mispredict t
@@ -118,7 +165,10 @@ let on_cond t (e : Event.t) ~taken ~taken_target =
       | Btb.Miss -> not taken
     in
     Btb.update btb ~pc:e.pc ~taken ~target:e.target;
-    if correct then t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
+    if correct then begin
+        Ba_obs.Counter.incr m_cond_correct;
+        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
+      end
     else mispredict t
 
 let on_always_taken t (e : Event.t) =
@@ -150,23 +200,30 @@ let on_event t (e : Event.t) =
   match e.kind with
   | Event.Cond { taken; taken_target } -> on_cond t e ~taken ~taken_target
   | Event.Uncond ->
+    Ba_obs.Counter.incr m_uncond;
     t.c <- { t.c with uncond = t.c.uncond + 1 };
     on_always_taken t e
   | Event.Call ->
+    Ba_obs.Counter.incr m_call;
     t.c <- { t.c with calls = t.c.calls + 1 };
     on_always_taken t e;
     Return_stack.push t.ras (Event.fallthrough_addr e)
   | Event.Indirect_jump ->
+    Ba_obs.Counter.incr m_indirect;
     t.c <- { t.c with indirect = t.c.indirect + 1 };
     on_indirect t e
   | Event.Indirect_call ->
+    Ba_obs.Counter.incr m_indirect;
     t.c <- { t.c with indirect = t.c.indirect + 1 };
     on_indirect t e;
     Return_stack.push t.ras (Event.fallthrough_addr e)
   | Event.Ret -> (
+    Ba_obs.Counter.incr m_ret;
     t.c <- { t.c with rets = t.c.rets + 1 };
     match Return_stack.pop t.ras with
-    | Some addr when addr = e.target -> t.c <- { t.c with rets_correct = t.c.rets_correct + 1 }
+    | Some addr when addr = e.target ->
+      Ba_obs.Counter.incr m_ret_correct;
+      t.c <- { t.c with rets_correct = t.c.rets_correct + 1 }
     | Some _ | None -> mispredict t)
 
 let counts t = t.c

@@ -5,6 +5,7 @@ type outcome = {
 }
 
 let simulate ?max_steps ?penalties ?return_stack_depth ~archs image =
+  Ba_obs.Span.with_ "simulate" @@ fun () ->
   let sims = List.map (fun arch -> (arch, Bep.create ?penalties ?return_stack_depth arch)) archs in
   let stats = Ba_exec.Trace_stats.create () in
   let on_event ev =

@@ -20,6 +20,7 @@ let error_count t =
 let verify_image ?pool ?(cert_arches = Ba_core.Cost_model.all_arches)
     ?(audit_arch = Ba_core.Cost_model.Btfnt) ?(audit = true) ~workload ~algo
     ~profile (image : Ba_layout.Image.t) =
+  Ba_obs.Span.with_ "verify" @@ fun () ->
   let program = image.Ba_layout.Image.program in
   let n = Ba_ir.Program.n_procs program in
   let visits p b = Ba_cfg.Profile.visits profile p b in

@@ -1,0 +1,172 @@
+(* Golden-snapshot wall.
+
+   Two families of snapshots live in test/golden/:
+
+   - [tables.expected]: the 24-workload x 4-algorithm relative-CPI tables
+     (Tables 2-4 and the Figure 4 series) at the standard 20k-step test
+     budget, rendered with NO metrics registry installed — so any
+     instrumentation that perturbs the experiment output, or any
+     unintentional change to the numbers themselves, fails the build.
+
+   - [metrics_<arch>.expected]: the deterministic metrics JSON for one
+     canonical workload per branch architecture, pipeline spans included —
+     so any change to a metric name, a counter's value, a histogram's
+     bucketing or the span tree is a visible diff, not silent drift.
+
+   Regenerate after an intentional change with:
+
+     BA_BLESS=1 dune runtest
+
+   and commit the updated .expected files with the change that caused
+   them. *)
+
+let max_steps = 20_000
+let bless = match Sys.getenv_opt "BA_BLESS" with Some ("" | "0") | None -> false | Some _ -> true
+let failures = ref 0
+
+let dir =
+  if Array.length Sys.argv < 2 then (
+    prerr_endline "usage: golden <golden-dir>";
+    exit 2)
+  else Sys.argv.(1)
+
+(* Under dune the action runs inside _build/<context>/ and [dir] names the
+   build-tree copies of the snapshots — right for reading, wrong for
+   blessing: dune never mirrors writes back to the source tree.  Map the
+   path back to the source directory for BA_BLESS. *)
+let bless_dir =
+  let abs = if Filename.is_relative dir then Filename.concat (Sys.getcwd ()) dir else dir in
+  let needle = "/_build/" in
+  let rec find i =
+    if i + String.length needle > String.length abs then None
+    else if String.sub abs i (String.length needle) = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> abs
+  | Some i ->
+    let root = String.sub abs 0 i in
+    let rest = String.sub abs (i + String.length needle)
+        (String.length abs - i - String.length needle) in
+    (* drop the context component ("default/...") *)
+    (match String.index_opt rest '/' with
+    | Some j ->
+      Filename.concat root (String.sub rest (j + 1) (String.length rest - j - 1))
+    | None -> abs)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let first_diff expected actual =
+  let el = String.split_on_char '\n' expected and al = String.split_on_char '\n' actual in
+  let rec scan i = function
+    | e :: es, a :: als -> if e = a then scan (i + 1) (es, als) else Some (i, e, a)
+    | e :: _, [] -> Some (i, e, "<missing>")
+    | [], a :: _ -> Some (i, "<missing>", a)
+    | [], [] -> None
+  in
+  scan 1 (el, al)
+
+let check name actual =
+  let path = Filename.concat dir (name ^ ".expected") in
+  if bless then begin
+    let target = Filename.concat bless_dir (name ^ ".expected") in
+    write_file target actual;
+    Printf.printf "blessed %s (%d bytes)\n%!" target (String.length actual)
+  end
+  else if not (Sys.file_exists path) then begin
+    incr failures;
+    Printf.printf "FAIL %s: golden file missing; run BA_BLESS=1 dune runtest\n%!" name
+  end
+  else
+    let expected = read_file path in
+    if expected = actual then Printf.printf "ok   %s\n%!" name
+    else begin
+      incr failures;
+      (match first_diff expected actual with
+      | Some (line, e, a) ->
+        Printf.printf
+          "FAIL %s: output drifted from %s\n  first difference at line %d:\n  \
+           expected: %s\n  actual:   %s\n"
+          name path line e a
+      | None -> Printf.printf "FAIL %s: output drifted from %s\n" name path);
+      Printf.printf
+        "  if the change is intentional, rebless with BA_BLESS=1 dune runtest\n%!"
+    end
+
+(* -- 24-workload relative-CPI tables, metrics collection off --------------- *)
+
+let tables () =
+  assert (Ba_obs.Registry.current () = None);
+  let evals = Ba_report.Harness.evaluate_suite ~max_steps Ba_workloads.Spec.all in
+  String.concat "\n"
+    [
+      "== Table 2: measured program attributes ==";
+      Ba_report.Tables.table2 evals;
+      "== Table 3: static architectures, relative CPI ==";
+      Ba_report.Tables.table3 evals;
+      "== Table 4: dynamic architectures, relative CPI ==";
+      Ba_report.Tables.table4 evals;
+      "== Figure 4: Alpha 21064 relative execution time ==";
+      Ba_report.Tables.fig4 evals;
+    ]
+
+(* -- Metrics JSON, one canonical workload per architecture ----------------- *)
+
+(* Each case runs the full pipeline (profile -> align -> simulate) for one
+   workload under one branch architecture, with a fresh registry around the
+   whole thing; the snapshot is the deterministic JSON (volatile metrics and
+   wall seconds elided by the sink). *)
+let metrics_cases =
+  [
+    ("fallthrough", "compress", Ba_core.Cost_model.Fallthrough,
+     fun _ _ -> Ba_sim.Bep.Static_fallthrough);
+    ("btfnt", "espresso", Ba_core.Cost_model.Btfnt,
+     fun _ _ -> Ba_sim.Bep.Static_btfnt);
+    ("likely", "li", Ba_core.Cost_model.Likely,
+     fun image profile ->
+       Ba_sim.Bep.Static_likely (Ba_predict.Likely_bits.build image profile));
+    ("pht-direct", "eqntott", Ba_core.Cost_model.Pht,
+     fun _ _ -> Ba_sim.Bep.Pht_direct { entries = 4096 });
+    ("pht-gshare", "gcc", Ba_core.Cost_model.Pht,
+     fun _ _ -> Ba_sim.Bep.Pht_gshare { entries = 4096; history_bits = 12 });
+    ("btb-256x4", "sc", Ba_core.Cost_model.Btb,
+     fun _ _ -> Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 });
+  ]
+
+let metrics_json (slug, workload, cost_arch, make_arch) =
+  let spec =
+    match Ba_workloads.Spec.by_name workload with
+    | Some w -> w
+    | None -> failwith ("unknown canonical workload " ^ workload)
+  in
+  let registry = Ba_obs.Registry.create () in
+  Ba_obs.Registry.with_registry registry (fun () ->
+      let program = spec.Ba_workloads.Spec.build () in
+      let profile = Ba_exec.Engine.profile_program ~max_steps program in
+      let image = Ba_core.Align.image (Ba_core.Align.Tryn 15) ~arch:cost_arch profile in
+      ignore
+        (Ba_sim.Runner.simulate ~max_steps ~archs:[ make_arch image profile ] image
+          : Ba_sim.Runner.outcome));
+  (slug, Ba_util.Json.to_string (Ba_obs.Sink.to_json registry) ^ "\n")
+
+let () =
+  check "tables" (tables ());
+  List.iter
+    (fun case ->
+      let slug, json = metrics_json case in
+      check ("metrics_" ^ slug) json)
+    metrics_cases;
+  if !failures > 0 then begin
+    Printf.printf "%d golden snapshot(s) drifted\n%!" !failures;
+    exit 1
+  end

@@ -262,14 +262,47 @@ let digests_of result =
     (fun c -> (c.Ba_verify.Certificate.arch, c.Ba_verify.Certificate.digest))
     result.Ba_verify.Run.certificates
 
+(* The process-wide Profiled memo may already hold these workloads from
+   earlier suites, which would turn every [get] below into a hit and leave
+   the memo's cold path (miss -> compute -> Pending await) untested.
+   Clearing first makes the cold path run deterministically regardless of
+   test order. *)
+let test_profiled_cold_path () =
+  let w = Option.get (Ba_workloads.Spec.by_name "compress") in
+  Ba_workloads.Profiled.clear ();
+  let results =
+    Ba_par.Pool.with_pool ~jobs:4 (fun pool ->
+        Ba_par.Pool.map pool
+          (fun _ -> Ba_workloads.Profiled.get ~max_steps:diff_steps w)
+          (List.init 8 (fun i -> i)))
+  in
+  let hits, misses = Ba_workloads.Profiled.stats () in
+  Alcotest.(check int) "one cold compute for the shared key" 1 misses;
+  Alcotest.(check int) "every other task awaited the pending cell" 7 hits;
+  (match results with
+  | (program, profile) :: rest ->
+    Alcotest.(check bool) "all tasks share one program instance" true
+      (List.for_all (fun (p, _) -> p == program) rest);
+    Alcotest.(check bool) "all tasks share one profile instance" true
+      (List.for_all (fun (_, pr) -> pr == profile) rest)
+  | [] -> Alcotest.fail "no results");
+  Ba_workloads.Profiled.clear ();
+  ignore (Ba_workloads.Profiled.get ~max_steps:diff_steps w);
+  let _, misses = Ba_workloads.Profiled.stats () in
+  Alcotest.(check int) "clear forces a recompute" 1 misses
+
 let test_certificate_digests_identical () =
   let ws = diff_workloads () in
   let algo = Ba_core.Align.Tryn 15 in
+  Ba_workloads.Profiled.clear ();
   let verify ?pool (w : Ba_workloads.Spec.t) =
     let program, profile = Ba_workloads.Profiled.get ~max_steps:diff_steps w in
     (w.Ba_workloads.Spec.name, digests_of (Ba_verify.Run.verify_pipeline ?pool ~profile ~algo program))
   in
   let sequential = List.map (fun w -> verify w) ws in
+  let _, misses = Ba_workloads.Profiled.stats () in
+  Alcotest.(check int) "sequential round profiled every workload cold"
+    (List.length ws) misses;
   (* Outer parallelism: workloads verified on 4 domains. *)
   let outer =
     Ba_par.Pool.with_pool ~jobs:4 (fun pool ->
@@ -291,6 +324,36 @@ let test_certificate_digests_identical () =
         (List.length Ba_core.Cost_model.all_arches)
         (List.length digests))
     sequential
+
+(* The ISSUE's acceptance bar for the observability layer: the full metrics
+   document — every decision counter, predictor counter, histogram and span
+   count — is byte-identical whatever the pool width.  The Profiled memo is
+   cleared before each run so both start from the same cold state. *)
+let test_metrics_json_byte_identical () =
+  let collect jobs =
+    Ba_workloads.Profiled.clear ();
+    let r = Ba_obs.Registry.create () in
+    Ba_obs.Registry.with_registry r (fun () ->
+        ignore
+          (Ba_report.Harness.evaluate_suite ~max_steps:diff_steps ~jobs
+             (diff_workloads ())
+            : Ba_report.Harness.eval list));
+    (r, Ba_util.Json.to_string (Ba_obs.Sink.to_json r))
+  in
+  let r1, j1 = collect 1 in
+  let _, j4 = collect 4 in
+  Alcotest.(check string) "metrics JSON byte-identical -j1 vs -j4" j1 j4;
+  (* Sanity: the document is not vacuous — the alignment decision counters,
+     predictor counters and simulator penalty counters all fired. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " collected") true
+        (Ba_obs.Registry.counter_value r1 name > 0))
+    [
+      "core.align.greedy.link"; "core.align.tryn.link"; "exec.engine.runs";
+      "predict.pht.lookup"; "predict.ras.push"; "sim.bep.misfetch_cycles";
+      "sim.bep.mispredict_cycles"; "par.memo.miss"; "par.pool.batch";
+    ]
 
 let test_evaluate_suite_timed () =
   let ws = diff_workloads () in
@@ -327,6 +390,7 @@ let suites =
           test_memo_concurrent_single_compute;
         Alcotest.test_case "failure cached" `Quick test_memo_caches_failure;
         Alcotest.test_case "clear" `Quick test_memo_clear;
+        Alcotest.test_case "profiled memo cold path" `Slow test_profiled_cold_path;
       ] );
     ( "par.reentrancy",
       [
@@ -339,6 +403,8 @@ let suites =
           test_tables_byte_identical;
         Alcotest.test_case "certificate digests identical" `Slow
           test_certificate_digests_identical;
+        Alcotest.test_case "metrics JSON byte-identical -j1 vs -j4" `Slow
+          test_metrics_json_byte_identical;
         Alcotest.test_case "timed suite evaluation" `Slow test_evaluate_suite_timed;
       ] );
   ]

@@ -370,6 +370,107 @@ let qcheck_cases =
         Btb.occupancy btb <= 16);
   ]
 
+(* -- Edge cases pinned through Ba_obs counters ------------------------------
+   These scenarios re-drive the structures' corner branches (saturation
+   rails, circular-stack wraparound, set-conflict eviction, index aliasing)
+   and assert the exact event counts the instrumentation records, so both
+   the predictor semantics and the metric names/semantics are pinned. *)
+
+let counted f =
+  let r = Ba_obs.Registry.create () in
+  Ba_obs.Registry.with_registry r f;
+  fun name -> Ba_obs.Registry.counter_value r name
+
+let test_obs_counter2_saturation_rails () =
+  let read =
+    counted (fun () ->
+        let c = ref Ba_predict.Counter2.initial in
+        (* initial = 1: two updates climb to 3, the next 8 saturate high *)
+        for _ = 1 to 10 do
+          c := Ba_predict.Counter2.update !c ~taken:true
+        done;
+        (* three updates descend to 0, the next 7 saturate low *)
+        for _ = 1 to 10 do
+          c := Ba_predict.Counter2.update !c ~taken:false
+        done)
+  in
+  Alcotest.(check int) "high rail" 8 (read "predict.counter2.sat_hi");
+  Alcotest.(check int) "low rail" 7 (read "predict.counter2.sat_lo")
+
+let test_obs_ras_overflow_underflow () =
+  let popped = ref [] in
+  let r = Ba_obs.Registry.create () in
+  Ba_obs.Registry.with_registry r (fun () ->
+      let s = Ba_predict.Return_stack.create ~depth:2 in
+      Ba_predict.Return_stack.push s 10;
+      Ba_predict.Return_stack.push s 20;
+      Ba_predict.Return_stack.push s 30;
+      (* overflow: wraps, overwriting 10 *)
+      for _ = 1 to 3 do
+        popped := Ba_predict.Return_stack.pop s :: !popped
+      done);
+  let read = Ba_obs.Registry.counter_value r in
+  Alcotest.(check (list (option int)))
+    "wraparound pops newest two, then underflows"
+    [ Some 30; Some 20; None ] (List.rev !popped);
+  Alcotest.(check int) "pushes" 3 (read "predict.ras.push");
+  Alcotest.(check int) "one overflow" 1 (read "predict.ras.overflow");
+  Alcotest.(check int) "pops" 3 (read "predict.ras.pop");
+  Alcotest.(check int) "one underflow" 1 (read "predict.ras.underflow");
+  match Ba_obs.Registry.histogram_snapshot r "predict.ras.depth" with
+  | Some h ->
+    (* occupancies after each push: 1, 2, 2 *)
+    Alcotest.(check int) "depth observations" 3 h.Ba_obs.Registry.total;
+    Alcotest.(check int) "depth max is the stack depth" 2 h.Ba_obs.Registry.max_value
+  | None -> Alcotest.fail "predict.ras.depth histogram missing"
+
+let test_obs_btb_set_conflict_eviction () =
+  let read =
+    counted (fun () ->
+        let btb = Ba_predict.Btb.create ~entries:2 ~assoc:2 in
+        (* one 2-way set: fill it, re-touch the first entry so the second
+           becomes LRU, then allocate a third taken branch *)
+        Ba_predict.Btb.update btb ~pc:0x10 ~taken:true ~target:1;
+        Ba_predict.Btb.update btb ~pc:0x20 ~taken:true ~target:2;
+        Ba_predict.Btb.update btb ~pc:0x10 ~taken:true ~target:1;
+        Ba_predict.Btb.update btb ~pc:0x30 ~taken:true ~target:3;
+        let expect pc hit =
+          Alcotest.(check bool)
+            (Printf.sprintf "pc %#x %s" pc (if hit then "survives" else "evicted"))
+            hit
+            (match Ba_predict.Btb.lookup btb ~pc with
+            | Ba_predict.Btb.Hit _ -> true
+            | Ba_predict.Btb.Miss -> false)
+        in
+        expect 0x10 true;
+        expect 0x20 false;
+        expect 0x30 true)
+  in
+  Alcotest.(check int) "allocations" 3 (read "predict.btb.alloc");
+  Alcotest.(check int) "the LRU victim is evicted once" 1 (read "predict.btb.evict");
+  Alcotest.(check int) "verification lookups" 3 (read "predict.btb.lookup");
+  Alcotest.(check int) "hits" 2 (read "predict.btb.hit");
+  Alcotest.(check int) "misses" 1 (read "predict.btb.miss")
+
+let test_obs_pht_alias_counter () =
+  let read =
+    counted (fun () ->
+        let pht = Ba_predict.Pht.create_direct ~entries:16 in
+        (* pc 5 trains the slot; pc 21 = 5 + 16 maps to the same index *)
+        Ba_predict.Pht.update pht ~pc:5 ~taken:true;
+        Ba_predict.Pht.update pht ~pc:5 ~taken:true;
+        Ba_predict.Pht.update pht ~pc:21 ~taken:false;
+        Ba_predict.Pht.update pht ~pc:5 ~taken:true;
+        ignore (Ba_predict.Pht.predict pht ~pc:5 : bool))
+  in
+  Alcotest.(check int) "one lookup" 1 (read "predict.pht.lookup");
+  (* updates where the trained direction already agreed: the second and
+     fourth (counter >= 2 predicts taken); the not-taken interloper and the
+     cold first update disagree *)
+  Alcotest.(check int) "agreeing updates" 2 (read "predict.pht.hit");
+  (* a different pc touching an owned slot: 21 after 5, then 5 after 21 *)
+  Alcotest.(check int) "alias transitions" 2 (read "predict.pht.alias")
+
 let suites =
   [
     ( "predict.counter2",
