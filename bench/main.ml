@@ -124,6 +124,100 @@ let run_micro () =
               ~predictor:Measure.run results)))
     [ table_tests; algorithm_tests; substrate_tests ]
 
+(* Perf-trajectory record: BENCH_<n>.json.
+
+   For every workload, time one full harness evaluation in
+   interpret-every-image mode against record-once/replay-many mode — each
+   from a cold Profiled cache, so both sides pay their own profiling pass —
+   and record the packed trace's size.  The file number self-advances past
+   any BENCH_*.json already in the working directory, so successive runs
+   accumulate a trajectory; CI uploads the file as an artifact. *)
+let record_steps = 200_000
+
+let next_bench_path () =
+  let n =
+    Array.fold_left
+      (fun acc f ->
+        if
+          String.length f >= 12
+          && String.sub f 0 6 = "BENCH_"
+          && Filename.check_suffix f ".json"
+        then
+          match int_of_string_opt (String.sub f 6 (String.length f - 11)) with
+          | Some n -> max acc n
+          | None -> acc
+        else acc)
+      0 (Sys.readdir ".")
+  in
+  Printf.sprintf "BENCH_%d.json" (n + 1)
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let run_record () =
+  let rows =
+    List.map
+      (fun (w : Ba_workloads.Spec.t) ->
+        Ba_workloads.Profiled.clear ();
+        let interpret_s =
+          time_run (fun () ->
+              Ba_report.Harness.evaluate ~max_steps:record_steps ~replay:false w)
+        in
+        Ba_workloads.Profiled.clear ();
+        let replay_s =
+          time_run (fun () -> Ba_report.Harness.evaluate ~max_steps:record_steps w)
+        in
+        let _, _, trace = Ba_workloads.Profiled.get_traced ~max_steps:record_steps w in
+        (w.Ba_workloads.Spec.name, interpret_s, replay_s, trace))
+      Ba_workloads.Spec.all
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let total_interpret = total (fun (_, i, _, _) -> i) in
+  let total_replay = total (fun (_, _, r, _) -> r) in
+  let json =
+    Ba_util.Json.Obj
+      [
+        ("schema", Ba_util.Json.String "ba-bench-trajectory/1");
+        ("max_steps", Ba_util.Json.Int record_steps);
+        ( "workloads",
+          Ba_util.Json.List
+            (List.map
+               (fun (name, interpret_s, replay_s, trace) ->
+                 Ba_util.Json.Obj
+                   [
+                     ("workload", Ba_util.Json.String name);
+                     ("interpret_s", Ba_util.Json.Float interpret_s);
+                     ("replay_s", Ba_util.Json.Float replay_s);
+                     ("speedup", Ba_util.Json.Float (interpret_s /. replay_s));
+                     ( "trace_bytes",
+                       Ba_util.Json.Int (Ba_trace.Trace.byte_size trace) );
+                     ("trace_steps", Ba_util.Json.Int trace.Ba_trace.Trace.steps);
+                   ])
+               rows) );
+        ("total_interpret_s", Ba_util.Json.Float total_interpret);
+        ("total_replay_s", Ba_util.Json.Float total_replay);
+        ("total_speedup", Ba_util.Json.Float (total_interpret /. total_replay));
+      ]
+  in
+  let path = next_bench_path () in
+  let oc = open_out path in
+  output_string oc (Ba_util.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "== Perf trajectory (interpret vs replay, %d steps) ==\n" record_steps;
+  List.iter
+    (fun (name, interpret_s, replay_s, trace) ->
+      Printf.printf "%-12s interpret %6.3fs  replay %6.3fs  speedup %5.2fx  trace %d B\n"
+        name interpret_s replay_s (interpret_s /. replay_s)
+        (Ba_trace.Trace.byte_size trace))
+    rows;
+  Printf.printf "%-12s interpret %6.3fs  replay %6.3fs  speedup %5.2fx\n" "TOTAL"
+    total_interpret total_replay
+    (total_interpret /. total_replay);
+  Printf.printf "wrote %s\n" path
+
 let run_tables () =
   let registry = Ba_obs.Registry.create () in
   let evals, stats =
@@ -147,17 +241,21 @@ let run_tables () =
   (* Per-run pipeline metrics record, with wall-clock span times included
      (this record tracks cost across commits, it is not diffed). *)
   print_endline "\n== Pipeline metrics (JSON) ==";
-  print_string (Ba_obs.Sink.emit ~times:true Ba_obs.Sink.Json registry)
+  print_string (Ba_obs.Sink.emit ~times:true Ba_obs.Sink.Json registry);
+  print_newline ();
+  run_record ()
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
+  | "record" -> run_record ()
   | "all" ->
     run_tables ();
     print_endline "\n== Bechamel microbenchmarks (time per run) ==";
     run_micro ()
   | other ->
-    Printf.eprintf "unknown argument %S (expected: tables | micro | all)\n" other;
+    Printf.eprintf "unknown argument %S (expected: tables | micro | record | all)\n"
+      other;
     exit 1

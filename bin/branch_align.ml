@@ -78,19 +78,21 @@ let bep_archs =
 
 let run_cmd name algo arch max_steps =
   let workload = lookup name in
-  let program = workload.Ba_workloads.Spec.build () in
-  let profile = Ba_exec.Engine.profile_program ~max_steps program in
+  (* Record once, replay many: the memoized pass yields program + profile +
+     semantic trace; both images below replay instead of re-interpreting. *)
+  let program, profile, trace = Ba_workloads.Profiled.get_traced ~max_steps workload in
   let archs_for image =
     Ba_sim.Bep.Static_likely (Ba_predict.Likely_bits.build image profile) :: bep_archs
   in
   let orig_image = Ba_layout.Image.original ~profile program in
   let orig =
-    Ba_sim.Runner.simulate ~max_steps ~archs:(archs_for orig_image) orig_image
+    Ba_sim.Runner.simulate ~max_steps ~trace ~archs:(archs_for orig_image) orig_image
   in
   let orig_insns = orig.Ba_sim.Runner.result.Ba_exec.Engine.insns in
   let aligned_image = Ba_core.Align.image algo ~arch profile in
   let aligned =
-    Ba_sim.Runner.simulate ~max_steps ~archs:(archs_for aligned_image) aligned_image
+    Ba_sim.Runner.simulate ~max_steps ~trace ~archs:(archs_for aligned_image)
+      aligned_image
   in
   Printf.printf "workload %s: %s  (algorithm %s, cost model %s)\n\n"
     workload.Ba_workloads.Spec.name workload.Ba_workloads.Spec.description
@@ -124,7 +126,8 @@ let run_cmd name algo arch max_steps =
           Ba_util.Ascii_table.float_cell acpi;
           Ba_util.Ascii_table.float_cell ~decimals:1 (100.0 *. (1.0 -. (acpi /. ocpi)));
         ])
-      orig.Ba_sim.Runner.sims aligned.Ba_sim.Runner.sims
+      (Array.to_list orig.Ba_sim.Runner.sims)
+      (Array.to_list aligned.Ba_sim.Runner.sims)
   in
   print_string (Ba_util.Ascii_table.render ~columns ~rows)
 
@@ -133,7 +136,6 @@ let run_cmd name algo arch max_steps =
    counters, histograms and spans land in the report. *)
 let simulate_cmd name algo arch max_steps metrics =
   let workload = lookup name in
-  let program = workload.Ba_workloads.Spec.build () in
   let registry =
     match metrics with None -> None | Some _ -> Some (Ba_obs.Registry.create ())
   in
@@ -142,7 +144,9 @@ let simulate_cmd name algo arch max_steps metrics =
   in
   let out =
     collected (fun () ->
-        let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let program, profile, trace =
+          Ba_workloads.Profiled.get_traced ~max_steps workload
+        in
         let image =
           match algo with
           | Ba_core.Align.Original -> Ba_layout.Image.original ~profile program
@@ -152,7 +156,7 @@ let simulate_cmd name algo arch max_steps metrics =
           Ba_sim.Bep.Static_likely (Ba_predict.Likely_bits.build image profile)
           :: bep_archs
         in
-        Ba_sim.Runner.simulate ~max_steps ~archs image)
+        Ba_sim.Runner.simulate ~max_steps ~trace ~archs image)
   in
   Printf.printf "workload %s, algorithm %s, cost model %s: %s branch events in %s instructions\n\n"
     workload.Ba_workloads.Spec.name
@@ -178,7 +182,7 @@ let simulate_cmd name algo arch max_steps metrics =
           Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.mispredicts;
           Ba_util.Ascii_table.int_cell (Ba_sim.Bep.bep sim);
         ])
-      out.Ba_sim.Runner.sims
+      (Array.to_list out.Ba_sim.Runner.sims)
   in
   print_string (Ba_util.Ascii_table.render ~columns ~rows);
   match (metrics, registry) with
@@ -254,6 +258,77 @@ let replay_cmd path =
           Ba_util.Ascii_table.int_cell (Ba_sim.Bep.bep sim);
         ])
       sims
+  in
+  print_string (Ba_util.Ascii_table.render ~columns ~rows)
+
+(* Packed semantic traces on disk (magic BAST1): unlike the per-event files
+   of [record]/[replay] above, these store only the layout-independent
+   decision stream — outcome bits plus switch/vcall varints — so one file
+   replays against any layout of the program. *)
+
+let trace_record_cmd name path max_steps =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let image = Ba_layout.Image.original program in
+  let result, trace = Ba_trace.Record.run ~max_steps image in
+  Ba_trace.Trace.save ~path ~seed:program.Ba_ir.Program.seed ~max_steps trace;
+  Printf.printf
+    "recorded %s steps (%s conditionals, %s switch/vcall indices, %s payload \
+     bytes) to %s\n"
+    (Ba_util.Ascii_table.int_cell result.Ba_exec.Engine.steps)
+    (Ba_util.Ascii_table.int_cell trace.Ba_trace.Trace.n_conds)
+    (Ba_util.Ascii_table.int_cell trace.Ba_trace.Trace.n_choices)
+    (Ba_util.Ascii_table.int_cell (Ba_trace.Trace.byte_size trace))
+    path
+
+let trace_replay_cmd name path algo arch =
+  let workload = lookup name in
+  let program = workload.Ba_workloads.Spec.build () in
+  let { Ba_trace.Trace.seed; max_steps; trace } = Ba_trace.Trace.load ~path in
+  if seed <> program.Ba_ir.Program.seed then begin
+    Printf.eprintf
+      "trace %s was recorded for a program with seed %d, but workload %s has \
+       seed %d\n"
+      path seed name program.Ba_ir.Program.seed;
+    exit 1
+  end;
+  let image =
+    match algo with
+    | Ba_core.Align.Original -> Ba_layout.Image.original program
+    | _ ->
+      (* Alignment needs the profile; reconstruct it with the one interpreter
+         pass the trace was recorded from. *)
+      let profile = Ba_exec.Engine.profile_program ~max_steps program in
+      Ba_core.Align.image algo ~arch profile
+  in
+  let out = Ba_sim.Runner.simulate ~trace ~archs:bep_archs image in
+  Printf.printf
+    "replayed %s steps from %s through %s (algorithm %s): %s branch events in \
+     %s instructions\n\n"
+    (Ba_util.Ascii_table.int_cell out.Ba_sim.Runner.result.Ba_exec.Engine.steps)
+    path name
+    (Ba_core.Align.algo_name algo)
+    (Ba_util.Ascii_table.int_cell out.Ba_sim.Runner.result.Ba_exec.Engine.branches)
+    (Ba_util.Ascii_table.int_cell out.Ba_sim.Runner.result.Ba_exec.Engine.insns);
+  let columns =
+    Ba_util.Ascii_table.
+      [
+        column ~align:Left "architecture"; column "accuracy%"; column "misfetch";
+        column "mispredict"; column "BEP cycles";
+      ]
+  in
+  let rows =
+    List.map
+      (fun (arch, sim) ->
+        [
+          Ba_sim.Bep.arch_label arch;
+          Ba_util.Ascii_table.float_cell ~decimals:1
+            (100.0 *. Ba_sim.Bep.cond_accuracy sim);
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.misfetches;
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.counts sim).Ba_sim.Bep.mispredicts;
+          Ba_util.Ascii_table.int_cell (Ba_sim.Bep.bep sim);
+        ])
+      (Array.to_list out.Ba_sim.Runner.sims)
   in
   print_string (Ba_util.Ascii_table.render ~columns ~rows)
 
@@ -577,6 +652,29 @@ let () =
       (Cmd.info "replay" ~doc:"Replay a recorded trace through the predictors.")
       Term.(const replay_cmd $ trace_arg)
   in
+  let trace_group =
+    let record =
+      Cmd.v
+        (Cmd.info "record"
+           ~doc:
+             "Record a workload's packed semantic trace (outcome bits and \
+              switch/vcall indices only — layout-independent) to a file.")
+        Term.(const trace_record_cmd $ workload_arg $ trace_arg $ max_steps_arg)
+    in
+    let replay =
+      Cmd.v
+        (Cmd.info "replay"
+           ~doc:
+             "Replay a packed semantic trace through any layout of its \
+              workload via the flat replayer; no interpreter pass for \
+              $(b,--algo orig).")
+        Term.(const trace_replay_cmd $ workload_arg $ trace_arg $ algo_arg $ arch_arg)
+    in
+    Cmd.group
+      (Cmd.info "trace"
+         ~doc:"Record/replay packed semantic traces (magic BAST1).")
+      [ record; replay ]
+  in
   let disasm =
     Cmd.v
       (Cmd.info "disasm"
@@ -649,4 +747,5 @@ let () =
        (Cmd.group
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
-          [ run; list; dump; hotspots; record; replay; disasm; simulate; lint; verify ]))
+          [ run; list; dump; hotspots; record; replay; trace_group; disasm; simulate;
+            lint; verify ]))

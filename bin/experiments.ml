@@ -152,28 +152,28 @@ let ablation_order max_steps only =
     List.map
       (fun (w : Ba_workloads.Spec.t) ->
         let program = w.build () in
-        let profile = Ba_exec.Engine.profile_program ~max_steps program in
-        let orig_insns =
-          (Ba_exec.Engine.run ~max_steps (Ba_layout.Image.original ~profile program))
-            .Ba_exec.Engine.insns
+        let profile, trace =
+          Ba_trace.Record.profile_and_record ~max_steps program
         in
+        let orig_out =
+          Ba_sim.Runner.simulate ~max_steps ~trace ~archs:[ Ba_sim.Bep.Static_btfnt ]
+            (Ba_layout.Image.original ~profile program)
+        in
+        let orig_insns = orig_out.Ba_sim.Runner.result.Ba_exec.Engine.insns in
         let run strategy =
           let image =
             Ba_core.Align.image (Ba_core.Align.Tryn 15) ~strategy
               ~arch:Ba_core.Cost_model.Btfnt profile
           in
           let out =
-            Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_btfnt ] image
+            Ba_sim.Runner.simulate ~max_steps ~trace
+              ~archs:[ Ba_sim.Bep.Static_btfnt ] image
           in
-          let _, sim = List.hd out.Ba_sim.Runner.sims in
+          let _, sim = out.Ba_sim.Runner.sims.(0) in
           Ba_sim.Bep.relative_cpi sim ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns
             ~orig_insns
         in
-        let orig_out =
-          Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_btfnt ]
-            (Ba_layout.Image.original ~profile program)
-        in
-        let _, orig_sim = List.hd orig_out.Ba_sim.Runner.sims in
+        let _, orig_sim = orig_out.Ba_sim.Runner.sims.(0) in
         [
           w.name;
           Ba_util.Ascii_table.float_cell
@@ -206,9 +206,13 @@ let ablation_tryn max_steps only =
     List.map
       (fun (w : Ba_workloads.Spec.t) ->
         let program = w.build () in
-        let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let profile, trace =
+          Ba_trace.Record.profile_and_record ~max_steps program
+        in
         let orig_insns =
-          (Ba_exec.Engine.run ~max_steps (Ba_layout.Image.original ~profile program))
+          (Ba_trace.Replay.run
+             (Ba_trace.Flat.of_image (Ba_layout.Image.original ~profile program))
+             trace)
             .Ba_exec.Engine.insns
         in
         w.name
@@ -219,13 +223,13 @@ let ablation_tryn max_steps only =
                    ~arch:Ba_core.Cost_model.Likely profile
                in
                let out =
-                 Ba_sim.Runner.simulate ~max_steps
+                 Ba_sim.Runner.simulate ~max_steps ~trace
                    ~archs:
                      [ Ba_sim.Bep.Static_likely
                          (Ba_predict.Likely_bits.build image profile) ]
                    image
                in
-               let _, sim = List.hd out.Ba_sim.Runner.sims in
+               let _, sim = out.Ba_sim.Runner.sims.(0) in
                Ba_util.Ascii_table.float_cell
                  (Ba_sim.Bep.relative_cpi sim
                     ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns))
@@ -252,9 +256,13 @@ let ablation_penalty max_steps only =
     List.map
       (fun (w : Ba_workloads.Spec.t) ->
         let program = w.build () in
-        let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let profile, trace =
+          Ba_trace.Record.profile_and_record ~max_steps program
+        in
         let orig_insns =
-          (Ba_exec.Engine.run ~max_steps (Ba_layout.Image.original ~profile program))
+          (Ba_trace.Replay.run
+             (Ba_trace.Flat.of_image (Ba_layout.Image.original ~profile program))
+             trace)
             .Ba_exec.Engine.insns
         in
         w.name
@@ -268,10 +276,10 @@ let ablation_penalty max_steps only =
                    ~arch:Ba_core.Cost_model.Fallthrough profile
                in
                let out =
-                 Ba_sim.Runner.simulate ~max_steps
+                 Ba_sim.Runner.simulate ~max_steps ~trace
                    ~archs:[ Ba_sim.Bep.Static_fallthrough ] image
                in
-               let _, sim = List.hd out.Ba_sim.Runner.sims in
+               let _, sim = out.Ba_sim.Runner.sims.(0) in
                Ba_util.Ascii_table.float_cell
                  (Ba_sim.Bep.relative_cpi sim
                     ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns))
@@ -303,14 +311,17 @@ let ablation_refine max_steps only =
     List.map
       (fun (w : Ba_workloads.Spec.t) ->
         let program = w.build () in
-        let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let profile, trace =
+          Ba_trace.Record.profile_and_record ~max_steps program
+        in
         let orig_image = Ba_layout.Image.original ~profile program in
         let orig_out =
-          Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_btfnt ] orig_image
+          Ba_sim.Runner.simulate ~max_steps ~trace
+            ~archs:[ Ba_sim.Bep.Static_btfnt ] orig_image
         in
         let orig_insns = orig_out.Ba_sim.Runner.result.Ba_exec.Engine.insns in
         let cpi_of out =
-          let _, sim = List.hd out.Ba_sim.Runner.sims in
+          let _, sim = out.Ba_sim.Runner.sims.(0) in
           Ba_sim.Bep.relative_cpi sim
             ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns
         in
@@ -324,7 +335,7 @@ let ablation_refine max_steps only =
               in
               Ba_util.Ascii_table.float_cell
                 (cpi_of
-                   (Ba_sim.Runner.simulate ~max_steps
+                   (Ba_sim.Runner.simulate ~max_steps ~trace
                       ~archs:[ Ba_sim.Bep.Static_btfnt ] image)))
             rounds)
       workloads
@@ -352,29 +363,38 @@ let ablation_unroll max_steps only =
     List.map
       (fun (w : Ba_workloads.Spec.t) ->
         let program = w.build () in
-        let orig_insns =
-          (Ba_exec.Engine.run ~max_steps (Ba_layout.Image.original program))
-            .Ba_exec.Engine.insns
+        (* One recording pass per distinct program (the unrolled variants are
+           different programs with their own decision streams). *)
+        let base_profile, base_trace =
+          Ba_trace.Record.profile_and_record ~max_steps program
         in
-        let ft_cpi program =
-          let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let orig_out =
+          Ba_sim.Runner.simulate ~max_steps ~trace:base_trace
+            ~archs:[ Ba_sim.Bep.Static_fallthrough ]
+            (Ba_layout.Image.original program)
+        in
+        let orig_insns = orig_out.Ba_sim.Runner.result.Ba_exec.Engine.insns in
+        let ft_cpi_traced ~profile ~trace =
           let image =
             Ba_core.Align.image (Ba_core.Align.Tryn 15)
               ~arch:Ba_core.Cost_model.Fallthrough profile
           in
           let out =
-            Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_fallthrough ]
-              image
+            Ba_sim.Runner.simulate ~max_steps ~trace
+              ~archs:[ Ba_sim.Bep.Static_fallthrough ] image
           in
-          let _, sim = List.hd out.Ba_sim.Runner.sims in
+          let _, sim = out.Ba_sim.Runner.sims.(0) in
           Ba_sim.Bep.relative_cpi sim ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns
             ~orig_insns
         in
-        let orig_out =
-          Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_fallthrough ]
-            (Ba_layout.Image.original program)
+        let ft_cpi program =
+          let profile, trace =
+            Ba_trace.Record.profile_and_record ~max_steps program
+          in
+          ft_cpi_traced ~profile ~trace
         in
-        let _, orig_sim = List.hd orig_out.Ba_sim.Runner.sims in
+        ignore ft_cpi;
+        let _, orig_sim = orig_out.Ba_sim.Runner.sims.(0) in
         let sites = List.length (Ba_core.Unroll.unrollable_self_loops program ~factor:2) in
         [
           w.name;
@@ -382,7 +402,8 @@ let ablation_unroll max_steps only =
           Ba_util.Ascii_table.float_cell
             (Ba_sim.Bep.relative_cpi orig_sim
                ~insns:orig_out.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns);
-          Ba_util.Ascii_table.float_cell (ft_cpi program);
+          Ba_util.Ascii_table.float_cell
+            (ft_cpi_traced ~profile:base_profile ~trace:base_trace);
         ]
         @ List.map
             (fun factor ->
@@ -418,14 +439,18 @@ let ablation_cross_input max_steps only =
         let program = w.build () in
         let alt = Ba_ir.Program.with_seed program (program.Ba_ir.Program.seed + 1) in
         let alt2 = Ba_ir.Program.with_seed program (program.Ba_ir.Program.seed + 2) in
-        (* Evaluation always runs the alternate input. *)
+        (* Evaluation always runs the alternate input, so one recording of
+           [alt] replays through every candidate layout below. *)
+        let alt_profile, alt_trace =
+          Ba_trace.Record.profile_and_record ~max_steps alt
+        in
         let eval_cpi image_program decisions =
           let image = Ba_layout.Image.build image_program decisions in
           let out =
-            Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_fallthrough ]
-              image
+            Ba_sim.Runner.simulate ~max_steps ~trace:alt_trace
+              ~archs:[ Ba_sim.Bep.Static_fallthrough ] image
           in
-          let _, sim = List.hd out.Ba_sim.Runner.sims in
+          let _, sim = out.Ba_sim.Runner.sims.(0) in
           (out.Ba_sim.Runner.result.Ba_exec.Engine.insns, Ba_sim.Bep.bep sim)
         in
         let orig_insns, orig_bep =
@@ -441,7 +466,7 @@ let ablation_cross_input max_steps only =
             ~arch:Ba_core.Cost_model.Fallthrough profile
         in
         let profile_of prog = Ba_exec.Engine.profile_program ~max_steps prog in
-        let same = aligned_with (profile_of alt) in
+        let same = aligned_with alt_profile in
         let cross = aligned_with (profile_of program) in
         let merged =
           (* Two training inputs, neither the evaluation input. *)
@@ -492,15 +517,17 @@ let ablation_algos max_steps only =
     List.map
       (fun (w : Ba_workloads.Spec.t) ->
         let program = w.build () in
-        let profile = Ba_exec.Engine.profile_program ~max_steps program in
+        let profile, trace =
+          Ba_trace.Record.profile_and_record ~max_steps program
+        in
         let orig_image = Ba_layout.Image.original ~profile program in
         let orig_out =
-          Ba_sim.Runner.simulate ~max_steps ~archs:[ Ba_sim.Bep.Static_fallthrough ]
-            orig_image
+          Ba_sim.Runner.simulate ~max_steps ~trace
+            ~archs:[ Ba_sim.Bep.Static_fallthrough ] orig_image
         in
         let orig_insns = orig_out.Ba_sim.Runner.result.Ba_exec.Engine.insns in
         let cpi_of out =
-          let _, sim = List.hd out.Ba_sim.Runner.sims in
+          let _, sim = out.Ba_sim.Runner.sims.(0) in
           Ba_sim.Bep.relative_cpi sim
             ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns
         in
@@ -512,7 +539,7 @@ let ablation_algos max_steps only =
               in
               Ba_util.Ascii_table.float_cell
                 (cpi_of
-                   (Ba_sim.Runner.simulate ~max_steps
+                   (Ba_sim.Runner.simulate ~max_steps ~trace
                       ~archs:[ Ba_sim.Bep.Static_fallthrough ] image)))
             algos)
       workloads

@@ -52,7 +52,7 @@ let () =
       | other -> other
     in
     let out = Ba_sim.Runner.simulate ~archs:[ arch ] image in
-    (out, List.hd out.Ba_sim.Runner.sims |> snd)
+    (out, snd out.Ba_sim.Runner.sims.(0))
   in
   let open Ba_util.Ascii_table in
   let columns =
@@ -85,7 +85,7 @@ let () =
             (Ba_sim.Bep.relative_cpi asim
                ~insns:aligned_out.Ba_sim.Runner.result.Ba_exec.Engine.insns ~orig_insns);
         ])
-      orig.Ba_sim.Runner.sims
+      (Array.to_list orig.Ba_sim.Runner.sims)
   in
   print_string (render ~columns ~rows);
   Fmt.pr

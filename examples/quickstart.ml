@@ -53,7 +53,7 @@ let () =
       (Ba_util.Ascii_table.int_cell out.Ba_sim.Runner.result.Ba_exec.Engine.insns);
     Fmt.pr "  fall-through conds    : %.1f%%@."
       (Ba_exec.Trace_stats.pct_cond_fallthrough out.Ba_sim.Runner.stats);
-    List.iter
+    Array.iter
       (fun (arch, sim) ->
         Fmt.pr "  %-12s relative CPI %.3f  (misfetch %d, mispredict %d)@."
           (Ba_sim.Bep.arch_label arch)

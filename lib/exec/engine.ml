@@ -15,17 +15,32 @@ type result = {
 let site_seed program_seed p b salt =
   program_seed lxor (p * 0x9E3779B9) lxor (b * 0x85EBCA6B) lxor (salt * 0xC2B2AE35)
 
-let weighted_index rng weights =
-  let total = Array.fold_left ( +. ) 0.0 weights in
-  let x = Ba_util.Rng.float rng total in
+(* Cumulative weights, accumulated left-to-right so [prefix.(n-1)] is the
+   same float the old per-visit [Array.fold_left ( +. )] produced. *)
+let prefix_sums weights =
   let n = Array.length weights in
-  let rec scan i acc =
-    if i = n - 1 then i
-    else
-      let acc = acc +. weights.(i) in
-      if x < acc then i else scan (i + 1) acc
-  in
-  scan 0 0.0
+  let prefix = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. weights.(i);
+    prefix.(i) <- !acc
+  done;
+  prefix
+
+(* Smallest [i] with [x < prefix.(i)], capped at [n-1] — the same index the
+   historical linear scan returned (including its treatment of zero-weight
+   entries), found by binary search instead of rescanning floats. *)
+let pick_weighted rng prefix =
+  let n = Array.length prefix in
+  let x = Ba_util.Rng.float rng prefix.(n - 1) in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if x < prefix.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let weighted_index rng weights = pick_weighted rng (prefix_sums weights)
 
 let cond_behavior (image : Image.t) p b =
   let proc = Program.proc image.Image.program p in
@@ -34,6 +49,10 @@ let cond_behavior (image : Image.t) p b =
   | _ -> invalid_arg "Engine: conditional layout block without conditional terminator"
 
 type site_state = { behavior : Behavior.t; state : Behavior.state }
+
+(* A switch/vcall site: its layout-independent RNG plus the cumulative
+   weights, computed once per site instead of once per visit. *)
+type choice_site = { c_rng : Ba_util.Rng.t; prefix : float array }
 
 let m_runs = Ba_obs.Counter.make ~unit_:"runs" "exec.engine.runs"
 let m_steps = Ba_obs.Counter.make ~unit_:"blocks" "exec.engine.steps"
@@ -47,12 +66,13 @@ type resume =
 
 type frame = { frame_proc : Term.proc_id; resume : resume }
 
-let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profile
+let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ())
+    ?(on_outcome = fun _ -> ()) ?(on_choice = fun _ -> ()) ?profile
     ?(max_steps = 1_000_000) (image : Image.t) =
   let program = image.Image.program in
   let seed = program.Program.seed in
   let cond_sites : (int * int, site_state) Hashtbl.t = Hashtbl.create 256 in
-  let choice_rngs : (int * int * int, Ba_util.Rng.t) Hashtbl.t = Hashtbl.create 64 in
+  let choice_sites : (int * int * int, choice_site) Hashtbl.t = Hashtbl.create 64 in
   let cond_site p b =
     match Hashtbl.find_opt cond_sites (p, b) with
     | Some s -> s
@@ -63,13 +83,16 @@ let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profi
       Hashtbl.add cond_sites (p, b) s;
       s
   in
-  let choice_rng p b salt =
-    match Hashtbl.find_opt choice_rngs (p, b, salt) with
-    | Some r -> r
+  let choice_site p b salt weights =
+    match Hashtbl.find_opt choice_sites (p, b, salt) with
+    | Some s -> s
     | None ->
-      let r = Ba_util.Rng.create (site_seed seed p b salt) in
-      Hashtbl.add choice_rngs (p, b, salt) r;
-      r
+      let s =
+        { c_rng = Ba_util.Rng.create (site_seed seed p b salt);
+          prefix = prefix_sums weights }
+      in
+      Hashtbl.add choice_sites (p, b, salt) s;
+      s
   in
   let record_visit p b =
     match profile with Some prof -> Ba_cfg.Profile.record_visit prof p b | None -> ()
@@ -137,6 +160,7 @@ let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profi
       let outcome = Behavior.next site.behavior site.state ~history:!history in
       history := ((!history lsl 1) lor if outcome then 1 else 0) land 0xFFFF;
       record_cond p b outcome;
+      on_outcome outcome;
       let taken_target = pos_addr p taken_pos in
       if outcome = taken_on then begin
         emit
@@ -159,8 +183,10 @@ let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profi
     end
     | Linear.Lswitch { positions; weights } ->
       incr insns;
-      let idx = weighted_index (choice_rng p b 2) weights in
+      let site = choice_site p b 2 weights in
+      let idx = pick_weighted site.c_rng site.prefix in
       record_switch p b idx;
+      on_choice idx;
       let target_pos = positions.(idx) in
       emit { Event.pc; target = pos_addr p target_pos; kind = Event.Indirect_jump };
       cur_pos := target_pos
@@ -170,7 +196,9 @@ let run ?(on_event = fun _ -> ()) ?(on_block = fun ~addr:_ ~size:_ -> ()) ?profi
       enter_call ~caller:p ~cont ~pc ~callee
     | Linear.Lvcall { callees; weights; cont } ->
       incr insns;
-      let idx = weighted_index (choice_rng p b 3) weights in
+      let site = choice_site p b 3 weights in
+      let idx = pick_weighted site.c_rng site.prefix in
+      on_choice idx;
       let callee = callees.(idx) in
       emit
         { Event.pc; target = Image.entry_addr image callee; kind = Event.Indirect_call };

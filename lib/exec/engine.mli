@@ -19,9 +19,18 @@ type result = {
   completed : bool;  (** the program halted before exhausting the budget *)
 }
 
+val weighted_index : Ba_util.Rng.t -> float array -> int
+(** One weighted draw: consume one float from [rng] and return the selected
+    index.  Implemented as a binary search over the cumulative weights;
+    draw-for-draw identical to the historical linear scan (same
+    left-to-right summation order, same treatment of zero-weight entries).
+    Exposed for the differential test wall. *)
+
 val run :
   ?on_event:(Event.t -> unit) ->
   ?on_block:(addr:int -> size:int -> unit) ->
+  ?on_outcome:(bool -> unit) ->
+  ?on_choice:(int -> unit) ->
   ?profile:Ba_cfg.Profile.t ->
   ?max_steps:int ->
   Ba_layout.Image.t ->
@@ -29,9 +38,13 @@ val run :
 (** [run image] executes from the main procedure's entry.  [on_event]
     receives every branch event in order; [on_block] fires once per layout
     block visit with the address range of the instructions fetched
-    (instruction-cache consumers attach here); [profile], when supplied, is
-    updated with semantic visit/outcome counts (it must have been created
-    for the same program); [max_steps] bounds the run (default
+    (instruction-cache consumers attach here); [on_outcome] receives every
+    conditional's {e semantic} outcome (the behaviour-stream boolean, not
+    the layout-relative taken bit) and [on_choice] every switch/vcall's
+    selected index, both in execution order — together they are exactly the
+    layout-independent decision stream {!Ba_trace} records; [profile], when
+    supplied, is updated with semantic visit/outcome counts (it must have
+    been created for the same program); [max_steps] bounds the run (default
     [1_000_000]).  A [Ret] in the main procedure with an empty call stack
     halts the program like [Halt].
 

@@ -1,12 +1,12 @@
 type kind =
-  | Cond of { taken : bool; taken_target : int }
+  | Cond of { mutable taken : bool; mutable taken_target : int }
   | Uncond
   | Indirect_jump
   | Call
   | Indirect_call
   | Ret
 
-type t = { pc : int; target : int; kind : kind }
+type t = { mutable pc : int; mutable target : int; mutable kind : kind }
 
 let is_taken e = match e.kind with Cond { taken; _ } -> taken | _ -> true
 

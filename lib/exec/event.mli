@@ -6,7 +6,7 @@
     events. *)
 
 type kind =
-  | Cond of { taken : bool; taken_target : int }
+  | Cond of { mutable taken : bool; mutable taken_target : int }
       (** conditional branch; [taken] is the architectural direction under
           the current layout (not the semantic outcome), and [taken_target]
           is the branch's target address — known statically from the
@@ -21,10 +21,16 @@ type kind =
   | Ret
 
 type t = {
-  pc : int;  (** address of the branch instruction *)
-  target : int;  (** address execution actually continues at *)
-  kind : kind;
+  mutable pc : int;  (** address of the branch instruction *)
+  mutable target : int;  (** address execution actually continues at *)
+  mutable kind : kind;
 }
+(** Fields are mutable so the flat replayer ({!Ba_trace.Replay}) can reuse
+    one scratch event for the whole run instead of allocating per branch.
+    The contract for every [on_event] consumer is therefore: read the
+    fields, never retain the event (or its [Cond] payload) past the
+    callback.  All in-repo consumers (Bep, Alpha, Trace_stats, Hotspots,
+    Trace_io) copy what they need. *)
 
 val is_taken : t -> bool
 (** Did the instruction redirect fetch?  [true] for everything except a

@@ -31,6 +31,31 @@ let read_varint ic =
   in
   go 0 0
 
+(* In-memory variants of the same LEB128 coding, for consumers (Ba_trace)
+   that build packed streams in buffers rather than channels. *)
+
+let buf_varint buf n =
+  if n < 0 then invalid_arg "Trace_io: negative value";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let get_varint bytes off =
+  let len = Bytes.length bytes in
+  let rec go off shift acc =
+    if off >= len then failwith "Trace_io: truncated varint"
+    else
+      let b = Char.code (Bytes.unsafe_get bytes off) in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go off 0 0
+
 let write_header oc = output_string oc magic
 
 let write_event oc (e : Event.t) =

@@ -14,6 +14,24 @@ val write_header : out_channel -> unit
 
 val write_event : out_channel -> Event.t -> unit
 
+(** {1 Varint coder}
+
+    The unsigned LEB128 coder backing the event records, exposed so other
+    trace formats ({!Ba_trace.Trace}) share one wire encoding. *)
+
+val write_varint : out_channel -> int -> unit
+(** Raises [Invalid_argument] on negative values. *)
+
+val read_varint : in_channel -> int
+(** Raises [Failure] on a truncated stream. *)
+
+val buf_varint : Buffer.t -> int -> unit
+(** In-memory [write_varint]. *)
+
+val get_varint : bytes -> int -> int * int
+(** [get_varint bytes off] decodes one varint starting at [off]; returns
+    the value and the offset just past it. *)
+
 val record : path:string -> (on_event:(Event.t -> unit) -> 'a) -> 'a
 (** [record ~path f] opens [path], writes the header, runs [f] with a
     callback that appends each event, and closes the file (also on

@@ -1,5 +1,9 @@
 type t = {
-  cond_by_pc : (int, int) Hashtbl.t;
+  (* executions per conditional-branch pc, indexed by pc and grown on
+     demand: pcs are dense layout addresses, so a flat array beats a
+     hashtable on the per-event path *)
+  mutable cond_by_pc : int array;
+  mutable cond_sites : int;  (* pcs with a nonzero slot *)
   mutable cond : int;
   mutable cond_taken : int;
   mutable uncond : int;
@@ -11,7 +15,8 @@ type t = {
 
 let create () =
   {
-    cond_by_pc = Hashtbl.create 1024;
+    cond_by_pc = Array.make 1024 0;
+    cond_sites = 0;
     cond = 0;
     cond_taken = 0;
     uncond = 0;
@@ -21,13 +26,22 @@ let create () =
     ret = 0;
   }
 
+let bump_cond_pc t pc =
+  if pc >= Array.length t.cond_by_pc then begin
+    let grown = Array.make (max (pc + 1) (2 * Array.length t.cond_by_pc)) 0 in
+    Array.blit t.cond_by_pc 0 grown 0 (Array.length t.cond_by_pc);
+    t.cond_by_pc <- grown
+  end;
+  let c = Array.unsafe_get t.cond_by_pc pc in
+  if c = 0 then t.cond_sites <- t.cond_sites + 1;
+  Array.unsafe_set t.cond_by_pc pc (c + 1)
+
 let on_event t (e : Event.t) =
   match e.kind with
   | Event.Cond { taken; _ } ->
     t.cond <- t.cond + 1;
     if taken then t.cond_taken <- t.cond_taken + 1;
-    Hashtbl.replace t.cond_by_pc e.pc
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.cond_by_pc e.pc))
+    bump_cond_pc t e.pc
   | Event.Uncond -> t.uncond <- t.uncond + 1
   | Event.Indirect_jump -> t.ijump <- t.ijump + 1
   | Event.Call -> t.call <- t.call + 1
@@ -52,7 +66,11 @@ type summary = {
 
 let summarize t ~program ~insns =
   let breaks = t.cond + t.uncond + t.ijump + t.call + t.icall + t.ret in
-  let weights = Hashtbl.fold (fun pc c acc -> (pc, c) :: acc) t.cond_by_pc [] in
+  let weights = ref [] in
+  Array.iteri
+    (fun pc c -> if c > 0 then weights := (pc, c) :: !weights)
+    t.cond_by_pc;
+  let weights = !weights in
   let q fraction = Ba_util.Stats.quantile_sites ~weights ~fraction in
   let ij = t.ijump + t.icall in
   {
@@ -61,7 +79,7 @@ let summarize t ~program ~insns =
     q50 = q 0.5;
     q90 = q 0.9;
     q99 = q 0.99;
-    q100 = Hashtbl.length t.cond_by_pc;
+    q100 = t.cond_sites;
     static_cond_sites = List.length (Ba_ir.Program.conditional_sites program);
     pct_taken = Ba_util.Stats.pct t.cond_taken t.cond;
     pct_cbr = Ba_util.Stats.pct t.cond breaks;

@@ -11,6 +11,7 @@ type def = {
   unit_ : string;
   volatile : bool;
   buckets : int array;
+  id : int;  (* dense, assigned at first registration; registry fast path *)
 }
 
 (* The catalogue is process-global and written from module initialisers and
@@ -19,6 +20,7 @@ type def = {
    access takes the mutex. *)
 let mutex = Mutex.create ()
 let table : (string, def) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
 
 let locked f =
   Mutex.lock mutex;
@@ -70,7 +72,8 @@ let register ?(unit_ = "events") ?(volatile = false) ?buckets kind name =
            definition, so histogram cells always agree on bucket bounds. *)
         existing
       | None ->
-        let def = { name; kind; unit_; volatile; buckets } in
+        let def = { name; kind; unit_; volatile; buckets; id = !next_id } in
+        incr next_id;
         Hashtbl.add table name def;
         def)
 

@@ -20,6 +20,10 @@ type def = private {
       (** scheduling-dependent (pool steals, occupancy): excluded from
           deterministic sink output by default *)
   buckets : int array;  (** histogram upper bounds; [[||]] for other kinds *)
+  id : int;
+      (** dense process-wide index, assigned at first registration; lets a
+          registry reach a metric's cell by array lookup instead of hashing
+          the name on every hot-path increment *)
 }
 
 val register : ?unit_:string -> ?volatile:bool -> ?buckets:int array -> kind -> string -> def

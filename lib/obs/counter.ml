@@ -4,9 +4,13 @@ let make ?unit_ ?volatile name = Catalogue.register ?unit_ ?volatile Catalogue.C
 
 let name (t : t) = t.Catalogue.name
 
+(* [n = 0] must not materialise a cell: batched flushes add whole-run
+   sums, and a zero sum has to leave the registry exactly as the
+   per-event increments would have — absent. *)
 let add t n =
-  match Registry.current () with
-  | None -> ()
-  | Some r -> Registry.add_counter r t n
+  if n <> 0 then
+    match Registry.current () with
+    | None -> ()
+    | Some r -> Registry.add_counter r t n
 
 let incr t = add t 1

@@ -10,4 +10,8 @@ type t
 val make : ?unit_:string -> ?volatile:bool -> string -> t
 val name : t -> string
 val incr : t -> unit
+
 val add : t -> int -> unit
+(** [add t 0] is a no-op and does not materialise the counter's cell —
+    flushing a zero whole-run sum leaves the registry exactly as
+    per-event increments would have. *)

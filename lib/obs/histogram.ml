@@ -9,3 +9,8 @@ let observe t v =
   match Registry.current () with
   | None -> ()
   | Some r -> Registry.observe r t v
+
+let observe_n t v ~n =
+  match Registry.current () with
+  | None -> ()
+  | Some r -> Registry.observe_n r t v n

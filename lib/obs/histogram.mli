@@ -8,3 +8,8 @@ type t
 val make : ?unit_:string -> ?volatile:bool -> ?buckets:int array -> string -> t
 val name : t -> string
 val observe : t -> int -> unit
+
+val observe_n : t -> int -> n:int -> unit
+(** [observe_n h v ~n] records [n] observations of value [v] at once —
+    exactly equivalent to [n] calls of [observe h v]; structures that batch
+    their metrics flush per-value tallies through this. *)

@@ -27,6 +27,10 @@ type span = { name : string; count : int; seconds : float; children : span list 
 
 type t = {
   cells : (string, cell) Hashtbl.t;
+  mutable by_id : cell option array;
+      (* cache of [cells] indexed by [Catalogue.def.id]: hot-path increments
+         reach their cell with one array read instead of hashing the metric
+         name on every event *)
   s_root : snode;
   mutable s_stack : snode list;  (* non-empty; head is the open span *)
 }
@@ -35,7 +39,8 @@ let fresh_snode () = { s_count = 0; s_seconds = 0.0; s_children = Hashtbl.create
 
 let create () =
   let root = fresh_snode () in
-  { cells = Hashtbl.create 64; s_root = root; s_stack = [ root ] }
+  { cells = Hashtbl.create 64; by_id = Array.make 256 None; s_root = root;
+    s_stack = [ root ] }
 
 (* A registry is deliberately not thread-safe: collection installs one
    registry per domain (the pool gives each task its own and merges them in
@@ -53,7 +58,7 @@ let with_registry r f =
 
 (* -- cells ------------------------------------------------------------------ *)
 
-let cell t (def : Catalogue.def) =
+let slow_cell t (def : Catalogue.def) =
   match Hashtbl.find_opt t.cells def.Catalogue.name with
   | Some c -> c
   | None ->
@@ -74,6 +79,24 @@ let cell t (def : Catalogue.def) =
     Hashtbl.add t.cells def.Catalogue.name c;
     c
 
+let cell t (def : Catalogue.def) =
+  let id = def.Catalogue.id in
+  if id < Array.length t.by_id then
+    match Array.unsafe_get t.by_id id with
+    | Some c -> c
+    | None ->
+      let c = slow_cell t def in
+      t.by_id.(id) <- Some c;
+      c
+  else begin
+    let grown = Array.make (max (id + 1) (2 * Array.length t.by_id)) None in
+    Array.blit t.by_id 0 grown 0 (Array.length t.by_id);
+    t.by_id <- grown;
+    let c = slow_cell t def in
+    t.by_id.(id) <- Some c;
+    c
+  end
+
 let add_counter t def n =
   match cell t def with
   | Counter_cell c -> c := !c + n
@@ -88,18 +111,22 @@ let set_gauge t def v =
   | Counter_cell _ | Histogram_cell _ ->
     invalid_arg (Printf.sprintf "Registry.set_gauge: %s is not a gauge" def.Catalogue.name)
 
-let observe t def v =
-  match cell t def with
-  | Histogram_cell h ->
-    let n = Array.length h.bounds in
-    let rec slot i = if i = n || v <= h.bounds.(i) then i else slot (i + 1) in
-    let i = slot 0 in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.total <- h.total + 1;
-    h.sum <- h.sum + v;
-    if v > h.max_value then h.max_value <- v
-  | Counter_cell _ | Gauge_cell _ ->
-    invalid_arg (Printf.sprintf "Registry.observe: %s is not a histogram" def.Catalogue.name)
+let observe_n t def v n =
+  if n < 0 then invalid_arg "Registry.observe_n: negative count";
+  if n > 0 then
+    match cell t def with
+    | Histogram_cell h ->
+      let nb = Array.length h.bounds in
+      let rec slot i = if i = nb || v <= h.bounds.(i) then i else slot (i + 1) in
+      let i = slot 0 in
+      h.counts.(i) <- h.counts.(i) + n;
+      h.total <- h.total + n;
+      h.sum <- h.sum + (v * n);
+      if v > h.max_value then h.max_value <- v
+    | Counter_cell _ | Gauge_cell _ ->
+      invalid_arg (Printf.sprintf "Registry.observe: %s is not a histogram" def.Catalogue.name)
+
+let observe t def v = observe_n t def v 1
 
 (* -- spans ------------------------------------------------------------------ *)
 

@@ -35,6 +35,10 @@ val with_registry : t -> (unit -> 'a) -> 'a
 
 val add_counter : t -> Catalogue.def -> int -> unit
 val set_gauge : t -> Catalogue.def -> int -> unit
+val observe_n : t -> Catalogue.def -> int -> int -> unit
+(** [observe_n t def v n] records [n] observations of [v]; rejects negative
+    [n]. *)
+
 val observe : t -> Catalogue.def -> int -> unit
 (** The typed mutators behind the metric handles; each finds-or-creates the
     cell for [def] and updates it. *)

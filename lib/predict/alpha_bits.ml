@@ -4,7 +4,14 @@ type line = {
   valid : bool array;  (* has this slot's bit been written since the fill? *)
 }
 
-type t = { lines : line array; line_mask : int; insns_per_line : int }
+type t = {
+  lines : line array;
+  line_mask : int;
+  insns_per_line : int;
+  (* local books, flushed to the predict.alpha.* counters once per run *)
+  mutable s_cold : int;
+  mutable s_refills : int;
+}
 
 let create ?(lines = 256) ?(insns_per_line = 8) () =
   if lines <= 0 || lines land (lines - 1) <> 0 then
@@ -20,6 +27,8 @@ let create ?(lines = 256) ?(insns_per_line = 8) () =
           });
     line_mask = lines - 1;
     insns_per_line;
+    s_cold = 0;
+    s_refills = 0;
   }
 
 let locate t ~pc =
@@ -38,15 +47,21 @@ let predict t ~pc ~taken_target =
   let line, tag, slot = locate t ~pc in
   if line.tag = tag && line.valid.(slot) then line.bits.(slot)
   else begin
-    Ba_obs.Counter.incr m_cold;
+    t.s_cold <- t.s_cold + 1;
     taken_target <= pc (* static BT/FNT on a cold bit *)
   end
 
 let update t ~pc ~taken =
   let line, tag, slot = locate t ~pc in
   if line.tag <> tag then begin
-    Ba_obs.Counter.incr m_refill;
+    t.s_refills <- t.s_refills + 1;
     refill line tag
   end;
   line.bits.(slot) <- taken;
   line.valid.(slot) <- true
+
+let flush_obs t =
+  Ba_obs.Counter.add m_cold t.s_cold;
+  Ba_obs.Counter.add m_refill t.s_refills;
+  t.s_cold <- 0;
+  t.s_refills <- 0

@@ -23,3 +23,7 @@ val predict : t -> pc:int -> taken_target:int -> bool
 val update : t -> pc:int -> taken:bool -> unit
 (** Record the resolved direction in [pc]'s history bit, filling the line if
     needed. *)
+
+val flush_obs : t -> unit
+(** Flush the cold-bit and refill tallies accumulated since the last flush
+    to the [predict.alpha.*] counters. *)

@@ -9,6 +9,14 @@ type t = {
   sets : entry array array;  (* sets.(set).(way) *)
   set_mask : int;
   mutable clock : int;
+  (* local books, flushed to the predict.btb.* counters once per run *)
+  mutable s_lookups : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_allocs : int;
+  mutable s_evicts : int;
+  mutable s_sat_hi : int;
+  mutable s_sat_lo : int;
 }
 
 type lookup = Hit of { target : int; predict_taken : bool } | Miss
@@ -30,6 +38,13 @@ let create ~entries ~assoc =
     sets = Array.init n_sets (fun _ -> Array.init assoc (fun _ -> fresh_entry ()));
     set_mask = n_sets - 1;
     clock = 0;
+    s_lookups = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_allocs = 0;
+    s_evicts = 0;
+    s_sat_hi = 0;
+    s_sat_lo = 0;
   }
 
 let set_of t ~pc = t.sets.(pc land t.set_mask)
@@ -44,13 +59,13 @@ let find_way set ~pc =
   scan 0
 
 let lookup t ~pc =
-  Ba_obs.Counter.incr m_lookup;
+  t.s_lookups <- t.s_lookups + 1;
   match find_way (set_of t ~pc) ~pc with
   | Some e ->
-    Ba_obs.Counter.incr m_hit;
+    t.s_hits <- t.s_hits + 1;
     Hit { target = e.target; predict_taken = Counter2.predict (Counter2.of_int e.counter) }
   | None ->
-    Ba_obs.Counter.incr m_miss;
+    t.s_misses <- t.s_misses + 1;
     Miss
 
 let touch t e =
@@ -61,6 +76,8 @@ let update t ~pc ~taken ~target =
   let set = set_of t ~pc in
   match find_way set ~pc with
   | Some e ->
+    if taken then begin if e.counter = 3 then t.s_sat_hi <- t.s_sat_hi + 1 end
+    else if e.counter = 0 then t.s_sat_lo <- t.s_sat_lo + 1;
     e.counter <- (Counter2.update (Counter2.of_int e.counter) ~taken :> int);
     if taken then e.target <- target;
     touch t e
@@ -69,8 +86,8 @@ let update t ~pc ~taken ~target =
       (* Allocate, evicting the LRU way (invalid entries have stamp 0 and
          lose ties, so they are filled first). *)
       let victim = Array.fold_left (fun acc e -> if e.stamp < acc.stamp then e else acc) set.(0) set in
-      Ba_obs.Counter.incr m_alloc;
-      if victim.tag >= 0 then Ba_obs.Counter.incr m_evict;
+      t.s_allocs <- t.s_allocs + 1;
+      if victim.tag >= 0 then t.s_evicts <- t.s_evicts + 1;
       victim.tag <- pc;
       victim.target <- target;
       victim.counter <- (Counter2.strongly_taken :> int);
@@ -84,3 +101,18 @@ let occupancy t =
   Array.fold_left
     (fun acc set -> Array.fold_left (fun acc e -> if e.tag >= 0 then acc + 1 else acc) acc set)
     0 t.sets
+
+let flush_obs t =
+  Ba_obs.Counter.add m_lookup t.s_lookups;
+  Ba_obs.Counter.add m_hit t.s_hits;
+  Ba_obs.Counter.add m_miss t.s_misses;
+  Ba_obs.Counter.add m_alloc t.s_allocs;
+  Ba_obs.Counter.add m_evict t.s_evicts;
+  Counter2.flush_sat ~hi:t.s_sat_hi ~lo:t.s_sat_lo;
+  t.s_lookups <- 0;
+  t.s_hits <- 0;
+  t.s_misses <- 0;
+  t.s_allocs <- 0;
+  t.s_evicts <- 0;
+  t.s_sat_hi <- 0;
+  t.s_sat_lo <- 0

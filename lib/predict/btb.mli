@@ -33,3 +33,7 @@ val assoc : t -> int
 val occupancy : t -> int
 (** Number of valid entries; alignment reduces this by making branches fall
     through (the paper's explanation of the small-BTB benefit). *)
+
+val flush_obs : t -> unit
+(** Flush the books accumulated since the last flush to the
+    [predict.btb.*] / [predict.counter2.*] counters. *)

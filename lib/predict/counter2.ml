@@ -8,14 +8,13 @@ let m_sat_lo = Ba_obs.Counter.make ~unit_:"updates" "predict.counter2.sat_lo"
 
 let predict c = c >= 2
 
-let update c ~taken =
-  if taken then begin
-    if c = 3 then Ba_obs.Counter.incr m_sat_hi;
-    min 3 (c + 1)
-  end
-  else begin
-    if c = 0 then Ba_obs.Counter.incr m_sat_lo;
-    max 0 (c - 1)
-  end
+let update c ~taken = if taken then min 3 (c + 1) else max 0 (c - 1)
+
+(* Saturation is detected by the structures that own the counters (a state-3
+   taken update or a state-0 not-taken update) and flushed here in bulk once
+   their simulation ends, keeping the per-update path registry-free. *)
+let flush_sat ~hi ~lo =
+  Ba_obs.Counter.add m_sat_hi hi;
+  Ba_obs.Counter.add m_sat_lo lo
 
 let of_int n = max 0 (min 3 n)

@@ -15,5 +15,10 @@ val strongly_taken : t
 val predict : t -> bool
 val update : t -> taken:bool -> t
 
+val flush_sat : hi:int -> lo:int -> unit
+(** Bulk-record [hi] saturated-taken and [lo] saturated-not-taken updates
+    on the [predict.counter2.*] counters; owners of counter state call this
+    from their own flush instead of touching the registry per update. *)
+
 val of_int : int -> t
 (** Clamped to [\[0, 3\]]; for tests. *)

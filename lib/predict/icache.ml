@@ -7,6 +7,9 @@ type t = {
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
+  (* flush_obs reports deltas since the previous flush *)
+  mutable flushed_accesses : int;
+  mutable flushed_misses : int;
 }
 
 let create ?(lines = 256) ?(insns_per_line = 8) ?(assoc = 1) () =
@@ -23,13 +26,14 @@ let create ?(lines = 256) ?(insns_per_line = 8) ?(assoc = 1) () =
     clock = 0;
     accesses = 0;
     misses = 0;
+    flushed_accesses = 0;
+    flushed_misses = 0;
   }
 
 let m_access = Ba_obs.Counter.make ~unit_:"lines" "predict.icache.access"
 let m_miss = Ba_obs.Counter.make ~unit_:"lines" "predict.icache.miss"
 
 let access_line t line_no =
-  Ba_obs.Counter.incr m_access;
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
   let set = t.sets.(line_no land t.set_mask) in
@@ -38,7 +42,6 @@ let access_line t line_no =
   match find 0 with
   | Some way -> set.stamps.(way) <- t.clock
   | None ->
-    Ba_obs.Counter.incr m_miss;
     t.misses <- t.misses + 1;
     (* Evict the LRU way (invalid ways have stamp 0 and lose ties). *)
     let victim = ref 0 in
@@ -64,3 +67,9 @@ let misses t = t.misses
 let accesses t = t.accesses
 
 let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let flush_obs t =
+  Ba_obs.Counter.add m_access (t.accesses - t.flushed_accesses);
+  Ba_obs.Counter.add m_miss (t.misses - t.flushed_misses);
+  t.flushed_accesses <- t.accesses;
+  t.flushed_misses <- t.misses

@@ -24,3 +24,7 @@ val accesses : t -> int
 (** Cumulative line accesses/misses since creation. *)
 
 val miss_rate : t -> float
+
+val flush_obs : t -> unit
+(** Flush accesses and misses accumulated since the last flush to the
+    [predict.icache.*] counters. *)

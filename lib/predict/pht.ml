@@ -6,6 +6,12 @@ type t = {
   mask : int;
   scheme : scheme;
   mutable history : int;
+  (* local books, flushed to the predict.pht.* counters once per run *)
+  mutable s_lookups : int;
+  mutable s_hits : int;
+  mutable s_aliases : int;
+  mutable s_sat_hi : int;
+  mutable s_sat_lo : int;
 }
 
 let m_lookup = Ba_obs.Counter.make ~unit_:"events" "predict.pht.lookup"
@@ -24,6 +30,11 @@ let create_direct ~entries =
     mask = entries - 1;
     scheme = Direct;
     history = 0;
+    s_lookups = 0;
+    s_hits = 0;
+    s_aliases = 0;
+    s_sat_hi = 0;
+    s_sat_lo = 0;
   }
 
 let create_gshare ~entries ~history_bits =
@@ -36,6 +47,11 @@ let create_gshare ~entries ~history_bits =
     mask = entries - 1;
     scheme = Gshare { history_bits };
     history = 0;
+    s_lookups = 0;
+    s_hits = 0;
+    s_aliases = 0;
+    s_sat_hi = 0;
+    s_sat_lo = 0;
   }
 
 let index t ~pc =
@@ -44,19 +60,32 @@ let index t ~pc =
   | Gshare _ -> (pc lxor t.history) land t.mask
 
 let predict t ~pc =
-  Ba_obs.Counter.incr m_lookup;
+  t.s_lookups <- t.s_lookups + 1;
   Counter2.predict (Counter2.of_int t.table.(index t ~pc))
 
 let update t ~pc ~taken =
   let i = index t ~pc in
-  if Counter2.predict (Counter2.of_int t.table.(i)) = taken then
-    Ba_obs.Counter.incr m_hit;
-  if t.owner.(i) >= 0 && t.owner.(i) <> pc then Ba_obs.Counter.incr m_alias;
+  let c = t.table.(i) in
+  if Counter2.predict (Counter2.of_int c) = taken then t.s_hits <- t.s_hits + 1;
+  if t.owner.(i) >= 0 && t.owner.(i) <> pc then t.s_aliases <- t.s_aliases + 1;
+  if taken then begin if c = 3 then t.s_sat_hi <- t.s_sat_hi + 1 end
+  else if c = 0 then t.s_sat_lo <- t.s_sat_lo + 1;
   t.owner.(i) <- pc;
-  t.table.(i) <- (Counter2.update (Counter2.of_int t.table.(i)) ~taken :> int);
+  t.table.(i) <- (Counter2.update (Counter2.of_int c) ~taken :> int);
   match t.scheme with
   | Direct -> ()
   | Gshare { history_bits } ->
     t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land ((1 lsl history_bits) - 1)
 
 let entries t = Array.length t.table
+
+let flush_obs t =
+  Ba_obs.Counter.add m_lookup t.s_lookups;
+  Ba_obs.Counter.add m_hit t.s_hits;
+  Ba_obs.Counter.add m_alias t.s_aliases;
+  Counter2.flush_sat ~hi:t.s_sat_hi ~lo:t.s_sat_lo;
+  t.s_lookups <- 0;
+  t.s_hits <- 0;
+  t.s_aliases <- 0;
+  t.s_sat_hi <- 0;
+  t.s_sat_lo <- 0

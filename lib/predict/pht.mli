@@ -27,3 +27,8 @@ val update : t -> pc:int -> taken:bool -> unit
     history.  Call after {!predict} for each executed conditional. *)
 
 val entries : t -> int
+
+val flush_obs : t -> unit
+(** Flush the books accumulated since the last flush to the
+    [predict.pht.*] / [predict.counter2.*] counters; the lookup and update
+    paths themselves never touch the registry. *)

@@ -2,11 +2,18 @@ type t = {
   slots : int array;
   mutable top : int;  (* index of next free slot *)
   mutable count : int;  (* valid entries, <= depth *)
+  (* local books, flushed to the predict.ras.* metrics once per run *)
+  mutable s_pushes : int;
+  mutable s_pops : int;
+  mutable s_overflows : int;
+  mutable s_underflows : int;
+  s_depths : int array;  (* pushes that left the stack at depth d, d <= depth *)
 }
 
 let create ~depth =
   if depth <= 0 then invalid_arg "Return_stack.create: depth must be positive";
-  { slots = Array.make depth 0; top = 0; count = 0 }
+  { slots = Array.make depth 0; top = 0; count = 0; s_pushes = 0; s_pops = 0;
+    s_overflows = 0; s_underflows = 0; s_depths = Array.make (depth + 1) 0 }
 
 let depth t = Array.length t.slots
 
@@ -21,17 +28,17 @@ let m_depth =
     "predict.ras.depth"
 
 let push t addr =
-  Ba_obs.Counter.incr m_push;
-  if t.count = Array.length t.slots then Ba_obs.Counter.incr m_overflow;
+  t.s_pushes <- t.s_pushes + 1;
+  if t.count = Array.length t.slots then t.s_overflows <- t.s_overflows + 1;
   t.slots.(t.top) <- addr;
   t.top <- (t.top + 1) mod Array.length t.slots;
   t.count <- min (t.count + 1) (Array.length t.slots);
-  Ba_obs.Histogram.observe m_depth t.count
+  t.s_depths.(t.count) <- t.s_depths.(t.count) + 1
 
 let pop t =
-  Ba_obs.Counter.incr m_pop;
+  t.s_pops <- t.s_pops + 1;
   if t.count = 0 then begin
-    Ba_obs.Counter.incr m_underflow;
+    t.s_underflows <- t.s_underflows + 1;
     None
   end
   else begin
@@ -41,3 +48,17 @@ let pop t =
   end
 
 let occupancy t = t.count
+
+let flush_obs t =
+  Ba_obs.Counter.add m_push t.s_pushes;
+  Ba_obs.Counter.add m_pop t.s_pops;
+  Ba_obs.Counter.add m_overflow t.s_overflows;
+  Ba_obs.Counter.add m_underflow t.s_underflows;
+  for d = 0 to Array.length t.s_depths - 1 do
+    Ba_obs.Histogram.observe_n m_depth d ~n:t.s_depths.(d);
+    t.s_depths.(d) <- 0
+  done;
+  t.s_pushes <- 0;
+  t.s_pops <- 0;
+  t.s_overflows <- 0;
+  t.s_underflows <- 0

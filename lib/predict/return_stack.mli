@@ -12,3 +12,7 @@ val push : t -> int -> unit
 val pop : t -> int option
 val depth : t -> int
 val occupancy : t -> int
+
+val flush_obs : t -> unit
+(** Flush the books accumulated since the last flush to the
+    [predict.ras.*] counters and depth histogram. *)

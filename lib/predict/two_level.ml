@@ -6,6 +6,11 @@ type t = {
   pattern : int array;  (* Counter2 states *)
   pattern_mask : int;
   scheme : scheme;
+  (* local books, flushed to the predict.two_level.* counters once per run *)
+  mutable s_lookups : int;
+  mutable s_hits : int;
+  mutable s_sat_hi : int;
+  mutable s_sat_lo : int;
 }
 
 let check_bits bits =
@@ -17,6 +22,10 @@ let create_global ?(history_bits = 12) () =
     pattern = Array.make (1 lsl history_bits) (Counter2.initial :> int);
     pattern_mask = (1 lsl history_bits) - 1;
     scheme = Global { history = 0 };
+    s_lookups = 0;
+    s_hits = 0;
+    s_sat_hi = 0;
+    s_sat_lo = 0;
   }
 
 let create_local ?(history_bits = 12) ?(branch_entries = 1024) () =
@@ -27,6 +36,10 @@ let create_local ?(history_bits = 12) ?(branch_entries = 1024) () =
     pattern = Array.make (1 lsl history_bits) (Counter2.initial :> int);
     pattern_mask = (1 lsl history_bits) - 1;
     scheme = Local { histories = Array.make branch_entries 0; branch_mask = branch_entries - 1 };
+    s_lookups = 0;
+    s_hits = 0;
+    s_sat_hi = 0;
+    s_sat_lo = 0;
   }
 
 let index t ~pc =
@@ -38,14 +51,16 @@ let m_lookup = Ba_obs.Counter.make ~unit_:"events" "predict.two_level.lookup"
 let m_hit = Ba_obs.Counter.make ~unit_:"events" "predict.two_level.hit"
 
 let predict t ~pc =
-  Ba_obs.Counter.incr m_lookup;
+  t.s_lookups <- t.s_lookups + 1;
   Counter2.predict (Counter2.of_int t.pattern.(index t ~pc))
 
 let update t ~pc ~taken =
   let i = index t ~pc in
-  if Counter2.predict (Counter2.of_int t.pattern.(i)) = taken then
-    Ba_obs.Counter.incr m_hit;
-  t.pattern.(i) <- (Counter2.update (Counter2.of_int t.pattern.(i)) ~taken :> int);
+  let c = t.pattern.(i) in
+  if Counter2.predict (Counter2.of_int c) = taken then t.s_hits <- t.s_hits + 1;
+  if taken then begin if c = 3 then t.s_sat_hi <- t.s_sat_hi + 1 end
+  else if c = 0 then t.s_sat_lo <- t.s_sat_lo + 1;
+  t.pattern.(i) <- (Counter2.update (Counter2.of_int c) ~taken :> int);
   let bit = if taken then 1 else 0 in
   match t.scheme with
   | Global g -> g.history <- ((g.history lsl 1) lor bit) land t.pattern_mask
@@ -57,3 +72,12 @@ let name t =
   match t.scheme with
   | Global _ -> Printf.sprintf "global-2level-%d" (t.pattern_mask + 1)
   | Local _ -> Printf.sprintf "local-2level-%d" (t.pattern_mask + 1)
+
+let flush_obs t =
+  Ba_obs.Counter.add m_lookup t.s_lookups;
+  Ba_obs.Counter.add m_hit t.s_hits;
+  Counter2.flush_sat ~hi:t.s_sat_hi ~lo:t.s_sat_lo;
+  t.s_lookups <- 0;
+  t.s_hits <- 0;
+  t.s_sat_hi <- 0;
+  t.s_sat_lo <- 0

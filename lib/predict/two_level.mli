@@ -26,3 +26,7 @@ val create_local :
 val predict : t -> pc:int -> bool
 val update : t -> pc:int -> taken:bool -> unit
 val name : t -> string
+
+val flush_obs : t -> unit
+(** Flush the books accumulated since the last flush to the
+    [predict.two_level.*] / [predict.counter2.*] counters. *)

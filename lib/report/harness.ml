@@ -37,7 +37,7 @@ let btb256_arch = Bep.Btb_arch { entries = 256; assoc = 4 }
 (* Run one image against a list of architectures, where LIKELY bits are
    derived from the image itself (profile-guided hints follow the rewritten
    binary, as re-annotating after transformation would). *)
-let run_image ~max_steps ~profile ~archs image =
+let run_image ~max_steps ~profile ?trace ~archs image =
   let archs =
     List.map
       (function
@@ -45,10 +45,10 @@ let run_image ~max_steps ~profile ~archs image =
         | `Arch a -> a)
       archs
   in
-  Runner.simulate ~max_steps ~archs image
+  Runner.simulate ~max_steps ?trace ~archs image
 
 let cpi outcome ~orig_insns arch_index =
-  let _, sim = List.nth outcome.Runner.sims arch_index in
+  let _, sim = outcome.Runner.sims.(arch_index) in
   Bep.relative_cpi sim ~insns:outcome.Runner.result.Ba_exec.Engine.insns ~orig_insns
 
 let full_archs =
@@ -74,25 +74,30 @@ let cpis_of_full outcome ~orig_insns =
     btb256 = c 6;
   }
 
-let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
+let evaluate ?max_steps ?(tryn = 15) ?(replay = true) (workload : Ba_workloads.Spec.t) =
   let max_steps =
     match max_steps with Some s -> s | None -> Ba_workloads.Spec.default_max_steps
   in
-  (* Memoized: the profile is layout-independent, so all tables, benches and
-     repeat evaluations of this workload at this budget share one trace. *)
-  let program, profile = Ba_workloads.Profiled.get ~max_steps workload in
+  (* Record once, replay many: the single memoized interpreter pass yields
+     the profile and the semantic trace, and every image below — original
+     included — replays that trace instead of re-interpreting.
+     [replay:false] forces the historical interpret-everything path; the
+     differential test wall proves both produce byte-identical tables. *)
+  let program, profile, trace = Ba_workloads.Profiled.get_traced ~max_steps workload in
+  let trace = if replay then Some trace else None in
+  let run_image = run_image ~max_steps ~profile ?trace in
   let orig_image = Ba_layout.Image.original ~profile program in
-  let orig_out = run_image ~max_steps ~profile ~archs:full_archs orig_image in
+  let orig_out = run_image ~archs:full_archs orig_image in
   let orig_insns = orig_out.Runner.result.Ba_exec.Engine.insns in
   let greedy_image = Align.image Align.Greedy profile in
-  let greedy_out = run_image ~max_steps ~profile ~archs:full_archs greedy_image in
+  let greedy_out = run_image ~archs:full_archs greedy_image in
   (* As in §6.1, layouts evaluated on BT/FNT use the Pettis & Hansen
      precedence chain ordering; everything else uses weight-descending. *)
   let greedy_btfnt_image =
     Align.image Align.Greedy ~strategy:Ba_layout.Chain_order.Btfnt_precedence profile
   in
   let greedy_btfnt_out =
-    run_image ~max_steps ~profile ~archs:[ `Arch Bep.Static_btfnt ] greedy_btfnt_image
+    run_image ~archs:[ `Arch Bep.Static_btfnt ] greedy_btfnt_image
   in
   (* One Try15 alignment per architectural cost model. *)
   let try15_image ?strategy arch = Align.image (Align.Tryn tryn) ?strategy ~arch profile in
@@ -106,20 +111,14 @@ let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
   let t15_likely_img = try15_image Cost_model.Likely in
   let t15_pht_img = try15_image Cost_model.Pht in
   let t15_btb_img = try15_image Cost_model.Btb in
-  let t15_ft =
-    run_image ~max_steps ~profile ~archs:[ `Arch Bep.Static_fallthrough ] t15_ft_img
-  in
-  let t15_btfnt =
-    run_image ~max_steps ~profile ~archs:[ `Arch Bep.Static_btfnt ] t15_btfnt_img
-  in
-  let t15_likely = run_image ~max_steps ~profile ~archs:[ `Likely ] t15_likely_img in
+  let t15_ft = run_image ~archs:[ `Arch Bep.Static_fallthrough ] t15_ft_img in
+  let t15_btfnt = run_image ~archs:[ `Arch Bep.Static_btfnt ] t15_btfnt_img in
+  let t15_likely = run_image ~archs:[ `Likely ] t15_likely_img in
   let t15_pht =
-    run_image ~max_steps ~profile ~archs:[ `Arch pht_direct_arch; `Arch gshare_arch ]
-      t15_pht_img
+    run_image ~archs:[ `Arch pht_direct_arch; `Arch gshare_arch ] t15_pht_img
   in
   let t15_btb =
-    run_image ~max_steps ~profile ~archs:[ `Arch btb64_arch; `Arch btb256_arch ]
-      t15_btb_img
+    run_image ~archs:[ `Arch btb64_arch; `Arch btb256_arch ] t15_btb_img
   in
   let try15 =
     {
@@ -142,7 +141,7 @@ let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
         | Ba_workloads.Spec.Int | Ba_workloads.Spec.Other -> 0.08
       in
       let run_alpha image =
-        let result, alpha = Runner.simulate_alpha ~max_steps ~fp_fraction image in
+        let result, alpha = Runner.simulate_alpha ~max_steps ~fp_fraction ?trace image in
         Alpha.cycles alpha ~insns:result.Ba_exec.Engine.insns
       in
       let orig_cycles = run_alpha orig_image in
@@ -170,15 +169,15 @@ let evaluate ?max_steps ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
     alpha;
   }
 
-let evaluate_suite ?max_steps ?tryn ?jobs workloads =
+let evaluate_suite ?max_steps ?tryn ?jobs ?replay workloads =
   Ba_par.Pool.with_pool ?jobs (fun pool ->
-      Ba_par.Pool.map pool (evaluate ?max_steps ?tryn) workloads)
+      Ba_par.Pool.map pool (evaluate ?max_steps ?tryn ?replay) workloads)
 
-let evaluate_suite_timed ?max_steps ?tryn ?jobs workloads =
+let evaluate_suite_timed ?max_steps ?tryn ?jobs ?replay workloads =
   Ba_par.Pool.with_pool ?jobs (fun pool ->
       Ba_par.Pool.timed_map pool ~label:"evaluate_suite"
         ~task_label:(fun (w : Ba_workloads.Spec.t) -> w.Ba_workloads.Spec.name)
-        (evaluate ?max_steps ?tryn) workloads)
+        (evaluate ?max_steps ?tryn ?replay) workloads)
 
 let class_groups evals =
   let group cls =

@@ -44,14 +44,24 @@ type eval = {
           the 21064 model; computed for the SPEC C programs *)
 }
 
-val evaluate : ?max_steps:int -> ?tryn:int -> Ba_workloads.Spec.t -> eval
+val evaluate :
+  ?max_steps:int -> ?tryn:int -> ?replay:bool -> Ba_workloads.Spec.t -> eval
 (** [max_steps] defaults to {!Ba_workloads.Spec.default_max_steps}; [tryn]
-    to 15.  The workload's profile comes from the process-wide
-    {!Ba_workloads.Profiled} memo, so repeat evaluations of the same
-    workload at the same budget profile it only once. *)
+    to 15.  The workload's profile {e and} semantic trace come from the
+    process-wide {!Ba_workloads.Profiled} memo, so the interpreter runs
+    only once per workload per budget; every image (original included) is
+    then scored by replaying the trace ({!Ba_sim.Runner.simulate}'s
+    [?trace] path).  [replay:false] (default [true]) forces the historical
+    interpret-every-image path — the results are byte-identical either way,
+    which the differential test wall enforces. *)
 
 val evaluate_suite :
-  ?max_steps:int -> ?tryn:int -> ?jobs:int -> Ba_workloads.Spec.t list -> eval list
+  ?max_steps:int ->
+  ?tryn:int ->
+  ?jobs:int ->
+  ?replay:bool ->
+  Ba_workloads.Spec.t list ->
+  eval list
 (** Evaluate the workloads on a {!Ba_par.Pool} of [jobs] domains (default
     {!Ba_par.Pool.default_jobs}, i.e. the [BA_JOBS] environment variable or
     the machine's domain count; [jobs = 1] forces the sequential path).
@@ -62,6 +72,7 @@ val evaluate_suite_timed :
   ?max_steps:int ->
   ?tryn:int ->
   ?jobs:int ->
+  ?replay:bool ->
   Ba_workloads.Spec.t list ->
   eval list * Ba_par.Stats.t
 (** {!evaluate_suite} plus per-workload wall times. *)

@@ -98,6 +98,13 @@ let cycles t ~insns =
   +. (float_of_int t.mispredicts *. t.config.mispredict_cycles)
   +. (float_of_int (Icache.misses t.icache) *. t.config.icache_miss_cycles)
 
+(* The component structures batch their predict.* metrics; one flush per
+   simulation (the runner's job) moves them to the registry. *)
+let flush_obs t =
+  Alpha_bits.flush_obs t.bits;
+  Return_stack.flush_obs t.ras;
+  Icache.flush_obs t.icache
+
 let misfetches t = t.misfetches
 let mispredicts t = t.mispredicts
 let icache_misses t = Icache.misses t.icache

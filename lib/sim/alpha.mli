@@ -45,6 +45,10 @@ val on_block : t -> addr:int -> size:int -> unit
 (** Feed one executed block's fetch range to the instruction-cache model
     (attach to {!Ba_exec.Engine.run}'s [on_block]). *)
 
+val flush_obs : t -> unit
+(** Flush the component predictors' batched [predict.*] metrics to the
+    registry; {!Ba_sim.Runner.simulate_alpha} calls this once per run. *)
+
 val cycles : t -> insns:int -> float
 (** Modelled execution time in cycles for a run that executed [insns]
     instructions. *)

@@ -26,16 +26,16 @@ type penalties = { misfetch : int; mispredict : int }
 let default_penalties = { misfetch = 1; mispredict = 4 }
 
 type counts = {
-  misfetches : int;
-  mispredicts : int;
-  cond : int;
-  cond_taken : int;
-  cond_correct : int;
-  uncond : int;
-  calls : int;
-  indirect : int;
-  rets : int;
-  rets_correct : int;
+  mutable misfetches : int;
+  mutable mispredicts : int;
+  mutable cond : int;
+  mutable cond_taken : int;
+  mutable cond_correct : int;
+  mutable uncond : int;
+  mutable calls : int;
+  mutable indirect : int;
+  mutable rets : int;
+  mutable rets_correct : int;
 }
 
 type predictor =
@@ -48,7 +48,7 @@ type t = {
   predictor : predictor;
   ras : Return_stack.t;
   penalties : penalties;
-  mutable c : counts;
+  c : counts;
   m_arch_penalty : Ba_obs.Counter.t;  (* sim.bep.arch.<label>.penalty_cycles *)
 }
 
@@ -68,7 +68,7 @@ let m_indirect = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.indirect"
 let m_ret = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.ret"
 let m_ret_correct = Ba_obs.Counter.make ~unit_:"branches" "sim.bep.class.ret_correct"
 
-let zero_counts =
+let zero_counts () =
   {
     misfetches = 0;
     mispredicts = 0;
@@ -99,39 +99,23 @@ let create ?(penalties = default_penalties) ?(return_stack_depth = 32) arch =
     predictor;
     ras = Return_stack.create ~depth:return_stack_depth;
     penalties;
-    c = zero_counts;
+    c = zero_counts ();
     m_arch_penalty =
       Ba_obs.Counter.make ~unit_:"cycles"
         (Printf.sprintf "sim.bep.arch.%s.penalty_cycles" (arch_label arch));
   }
 
-let misfetch t =
-  Ba_obs.Counter.incr m_misfetch;
-  Ba_obs.Counter.add m_misfetch_cycles t.penalties.misfetch;
-  Ba_obs.Counter.add t.m_arch_penalty t.penalties.misfetch;
-  t.c <- { t.c with misfetches = t.c.misfetches + 1 }
-
-let mispredict t =
-  Ba_obs.Counter.incr m_mispredict;
-  Ba_obs.Counter.add m_mispredict_cycles t.penalties.mispredict;
-  Ba_obs.Counter.add t.m_arch_penalty t.penalties.mispredict;
-  t.c <- { t.c with mispredicts = t.c.mispredicts + 1 }
+let misfetch t = t.c.misfetches <- t.c.misfetches + 1
+let mispredict t = t.c.mispredicts <- t.c.mispredicts + 1
 
 let on_cond t (e : Event.t) ~taken ~taken_target =
-  Ba_obs.Counter.incr m_cond;
-  t.c <- { t.c with cond = t.c.cond + 1 };
-  if taken then begin
-    Ba_obs.Counter.incr m_cond_taken;
-    t.c <- { t.c with cond_taken = t.c.cond_taken + 1 }
-  end;
+  t.c.cond <- t.c.cond + 1;
+  if taken then t.c.cond_taken <- t.c.cond_taken + 1;
   match t.predictor with
   | Rule rule ->
     let predicted = Static_rule.predict_taken rule ~pc:e.pc ~taken_target in
     if predicted = taken then begin
-      begin
-        Ba_obs.Counter.incr m_cond_correct;
-        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
-      end;
+      t.c.cond_correct <- t.c.cond_correct + 1;
       if taken then misfetch t
     end
     else mispredict t
@@ -139,10 +123,7 @@ let on_cond t (e : Event.t) ~taken ~taken_target =
     let predicted = Pht.predict pht ~pc:e.pc in
     Pht.update pht ~pc:e.pc ~taken;
     if predicted = taken then begin
-      begin
-        Ba_obs.Counter.incr m_cond_correct;
-        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
-      end;
+      t.c.cond_correct <- t.c.cond_correct + 1;
       if taken then misfetch t
     end
     else mispredict t
@@ -150,10 +131,7 @@ let on_cond t (e : Event.t) ~taken ~taken_target =
     let predicted = Two_level.predict two ~pc:e.pc in
     Two_level.update two ~pc:e.pc ~taken;
     if predicted = taken then begin
-      begin
-        Ba_obs.Counter.incr m_cond_correct;
-        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
-      end;
+      t.c.cond_correct <- t.c.cond_correct + 1;
       if taken then misfetch t
     end
     else mispredict t
@@ -165,10 +143,7 @@ let on_cond t (e : Event.t) ~taken ~taken_target =
       | Btb.Miss -> not taken
     in
     Btb.update btb ~pc:e.pc ~taken ~target:e.target;
-    if correct then begin
-        Ba_obs.Counter.incr m_cond_correct;
-        t.c <- { t.c with cond_correct = t.c.cond_correct + 1 }
-      end
+    if correct then t.c.cond_correct <- t.c.cond_correct + 1
     else mispredict t
 
 let on_always_taken t (e : Event.t) =
@@ -200,36 +175,58 @@ let on_event t (e : Event.t) =
   match e.kind with
   | Event.Cond { taken; taken_target } -> on_cond t e ~taken ~taken_target
   | Event.Uncond ->
-    Ba_obs.Counter.incr m_uncond;
-    t.c <- { t.c with uncond = t.c.uncond + 1 };
+    t.c.uncond <- t.c.uncond + 1;
     on_always_taken t e
   | Event.Call ->
-    Ba_obs.Counter.incr m_call;
-    t.c <- { t.c with calls = t.c.calls + 1 };
+    t.c.calls <- t.c.calls + 1;
     on_always_taken t e;
     Return_stack.push t.ras (Event.fallthrough_addr e)
   | Event.Indirect_jump ->
-    Ba_obs.Counter.incr m_indirect;
-    t.c <- { t.c with indirect = t.c.indirect + 1 };
+    t.c.indirect <- t.c.indirect + 1;
     on_indirect t e
   | Event.Indirect_call ->
-    Ba_obs.Counter.incr m_indirect;
-    t.c <- { t.c with indirect = t.c.indirect + 1 };
+    t.c.indirect <- t.c.indirect + 1;
     on_indirect t e;
     Return_stack.push t.ras (Event.fallthrough_addr e)
   | Event.Ret -> (
-    Ba_obs.Counter.incr m_ret;
-    t.c <- { t.c with rets = t.c.rets + 1 };
+    t.c.rets <- t.c.rets + 1;
     match Return_stack.pop t.ras with
     | Some addr when addr = e.target ->
-      Ba_obs.Counter.incr m_ret_correct;
-      t.c <- { t.c with rets_correct = t.c.rets_correct + 1 }
+      t.c.rets_correct <- t.c.rets_correct + 1
     | Some _ | None -> mispredict t)
 
 let counts t = t.c
 
 let bep t =
   (t.c.misfetches * t.penalties.misfetch) + (t.c.mispredicts * t.penalties.mispredict)
+
+(* Every global metric above is a pure function of the final books, so the
+   simulation loop never touches the registry: the books are flushed once,
+   when the run is over (the runner does this; so must anyone driving
+   [on_event] by hand who wants the sim.bep.* counters populated).  The
+   flushed values are exactly what per-event increments would have
+   produced. *)
+let flush_obs t =
+  (match t.predictor with
+  | Rule _ -> ()
+  | Table pht -> Pht.flush_obs pht
+  | Adaptive two -> Two_level.flush_obs two
+  | Buffer btb -> Btb.flush_obs btb);
+  Return_stack.flush_obs t.ras;
+  let c = t.c in
+  Ba_obs.Counter.add m_misfetch c.misfetches;
+  Ba_obs.Counter.add m_mispredict c.mispredicts;
+  Ba_obs.Counter.add m_misfetch_cycles (c.misfetches * t.penalties.misfetch);
+  Ba_obs.Counter.add m_mispredict_cycles (c.mispredicts * t.penalties.mispredict);
+  Ba_obs.Counter.add t.m_arch_penalty (bep t);
+  Ba_obs.Counter.add m_cond c.cond;
+  Ba_obs.Counter.add m_cond_taken c.cond_taken;
+  Ba_obs.Counter.add m_cond_correct c.cond_correct;
+  Ba_obs.Counter.add m_uncond c.uncond;
+  Ba_obs.Counter.add m_call c.calls;
+  Ba_obs.Counter.add m_indirect c.indirect;
+  Ba_obs.Counter.add m_ret c.rets;
+  Ba_obs.Counter.add m_ret_correct c.rets_correct
 
 let cond_accuracy t = Ba_util.Stats.ratio t.c.cond_correct t.c.cond
 

@@ -34,16 +34,16 @@ val default_penalties : penalties
 (** misfetch 1, mispredict 4 — the paper's simulation numbers. *)
 
 type counts = {
-  misfetches : int;
-  mispredicts : int;
-  cond : int;
-  cond_taken : int;
-  cond_correct : int;
-  uncond : int;
-  calls : int;
-  indirect : int;
-  rets : int;
-  rets_correct : int;
+  mutable misfetches : int;
+  mutable mispredicts : int;
+  mutable cond : int;
+  mutable cond_taken : int;
+  mutable cond_correct : int;
+  mutable uncond : int;
+  mutable calls : int;
+  mutable indirect : int;
+  mutable rets : int;
+  mutable rets_correct : int;
 }
 
 type t
@@ -51,6 +51,13 @@ type t
 val create : ?penalties:penalties -> ?return_stack_depth:int -> arch -> t
 val on_event : t -> Ba_exec.Event.t -> unit
 val counts : t -> counts
+(** The live books (mutated by {!on_event}); read them when the event
+    stream is done. *)
+
+val flush_obs : t -> unit
+(** Add this simulator's contribution to the global [sim.bep.*] counters —
+    the event loop itself never touches the metrics registry.  Call exactly
+    once per simulation; {!Ba_sim.Runner.simulate} does. *)
 
 val bep : t -> int
 (** Total penalty cycles charged so far. *)

@@ -1,10 +1,10 @@
-let cache : (Ba_ir.Program.t * Ba_cfg.Profile.t) Ba_par.Memo.t =
+let cache : (Ba_ir.Program.t * Ba_cfg.Profile.t * Ba_trace.Trace.t) Ba_par.Memo.t =
   Ba_par.Memo.create ()
 
 let key ~name ~max_steps =
   Ba_util.Fnv.digest64 (Printf.sprintf "profile|%s|%d" name max_steps)
 
-let get ?max_steps (w : Spec.t) =
+let get_traced ?max_steps (w : Spec.t) =
   let max_steps =
     match max_steps with Some s -> s | None -> Spec.default_max_steps
   in
@@ -12,8 +12,12 @@ let get ?max_steps (w : Spec.t) =
     ~key:(key ~name:w.Spec.name ~max_steps)
     (fun () ->
       let program = w.Spec.build () in
-      let profile = Ba_exec.Engine.profile_program ~max_steps program in
-      (program, profile))
+      let profile, trace = Ba_trace.Record.profile_and_record ~max_steps program in
+      (program, profile, trace))
+
+let get ?max_steps w =
+  let program, profile, _ = get_traced ?max_steps w in
+  (program, profile)
 
 let stats () = (Ba_par.Memo.hits cache, Ba_par.Memo.misses cache)
 let clear () = Ba_par.Memo.clear cache

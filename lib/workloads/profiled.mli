@@ -1,28 +1,36 @@
-(** Memoized workload profiling.
+(** Memoized workload profiling and trace recording.
 
     Every matrix in the repo (the table harness, lint-all, verify-all, the
     bench pipelines) starts a cell by building a workload and profiling it —
-    and the profile is layout-independent, so re-profiling the same workload
-    for every algorithm × architecture cell is pure waste.  This module
-    computes each workload's program + profile {e exactly once} per
-    [max_steps] budget and shares the pair across all cells, including
-    concurrent ones (the underlying {!Ba_par.Memo} blocks duplicate
-    computations).
+    and both the profile and the semantic decision stream are
+    layout-independent, so re-running the interpreter for every algorithm ×
+    architecture cell is pure waste.  This module runs the interpreter
+    {e exactly once} per workload per [max_steps] budget, collecting the
+    program, its profile {e and} its packed {!Ba_trace.Trace.t} in the same
+    pass, and shares the triple across all cells, including concurrent ones
+    (the underlying {!Ba_par.Memo} blocks duplicate computations).
 
-    Sharing is sound because every consumer treats the pair as read-only:
+    Sharing is sound because every consumer treats the triple as read-only:
     the profile's counters are only mutated during the initial profiling
-    run, inside the memoized compute.
+    run, inside the memoized compute, and traces are never mutated after
+    {!Ba_trace.Trace.Builder.finish}.
 
     The cache key is the FNV-1a-64 digest of ["profile|<name>|<max_steps>"]
     — workload names are unique and [Spec.build] is deterministic, so the
-    pair is a pure function of the key. *)
+    triple is a pure function of the key. *)
 
 val key : name:string -> max_steps:int -> string
 
-val get : ?max_steps:int -> Spec.t -> Ba_ir.Program.t * Ba_cfg.Profile.t
+val get_traced :
+  ?max_steps:int -> Spec.t -> Ba_ir.Program.t * Ba_cfg.Profile.t * Ba_trace.Trace.t
 (** [max_steps] defaults to {!Spec.default_max_steps}.  The returned
     program is the exact instance the profile was collected on (profile
-    consumers check physical identity). *)
+    consumers check physical identity); the trace drives
+    {!Ba_sim.Runner.simulate}'s replay path for every layout of that
+    program. *)
+
+val get : ?max_steps:int -> Spec.t -> Ba_ir.Program.t * Ba_cfg.Profile.t
+(** {!get_traced} without the trace. *)
 
 val stats : unit -> int * int
 (** [(hits, misses)] of the process-wide cache. *)

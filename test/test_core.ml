@@ -506,7 +506,7 @@ let test_unroll_improves_fallthrough_cpi () =
       Ba_sim.Runner.simulate ~max_steps:200_000
         ~archs:[ Ba_sim.Bep.Static_fallthrough ] image
     in
-    let _, sim = List.hd out.Ba_sim.Runner.sims in
+    let _, sim = out.Ba_sim.Runner.sims.(0) in
     Ba_sim.Bep.relative_cpi sim ~insns:out.Ba_sim.Runner.result.Ba_exec.Engine.insns
       ~orig_insns
   in

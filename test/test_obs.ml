@@ -315,9 +315,9 @@ let test_bep_penalty_attribution () =
       in
       let v = Ba_obs.Registry.counter_value r in
       let sims = out.Ba_sim.Runner.sims in
-      let total f = List.fold_left (fun acc (_, s) -> acc + f s) 0 sims in
+      let total f = Array.fold_left (fun acc (_, s) -> acc + f s) 0 sims in
       let name = w.Ba_workloads.Spec.name in
-      List.iter
+      Array.iter
         (fun (arch, sim) ->
           let label = Ba_sim.Bep.arch_label arch in
           Alcotest.(check int)

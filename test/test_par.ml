@@ -216,11 +216,12 @@ let sim_fingerprint (out : Ba_sim.Runner.outcome) =
   ( out.Ba_sim.Runner.result.Ba_exec.Engine.insns,
     out.Ba_sim.Runner.result.Ba_exec.Engine.steps,
     out.Ba_sim.Runner.result.Ba_exec.Engine.branches,
-    List.map
-      (fun (_, sim) ->
-        let c = Ba_sim.Bep.counts sim in
-        (Ba_sim.Bep.bep sim, c.Ba_sim.Bep.misfetches, c.Ba_sim.Bep.mispredicts))
-      out.Ba_sim.Runner.sims )
+    Array.to_list
+      (Array.map
+         (fun (_, sim) ->
+           let c = Ba_sim.Bep.counts sim in
+           (Ba_sim.Bep.bep sim, c.Ba_sim.Bep.misfetches, c.Ba_sim.Bep.mispredicts))
+         out.Ba_sim.Runner.sims) )
 
 let test_concurrent_simulation_matches_sequential () =
   (* Two domains simulate the same image object at once; if any simulator,

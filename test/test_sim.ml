@@ -199,9 +199,9 @@ let test_runner_multiple_archs () =
       ~archs:[ Bep.Static_fallthrough; Bep.Static_btfnt; Bep.Pht_direct { entries = 64 } ]
       image
   in
-  Alcotest.(check int) "three sims" 3 (List.length out.Runner.sims);
+  Alcotest.(check int) "three sims" 3 (Array.length out.Runner.sims);
   (* All sims saw the same conditionals. *)
-  List.iter
+  Array.iter
     (fun (_, sim) -> Alcotest.(check int) "cond count" 100 (Bep.counts sim).Bep.cond)
     out.Runner.sims;
   let cpis = Runner.relative_cpis out ~orig_insns:out.Runner.result.Engine.insns in
@@ -268,7 +268,7 @@ let qcheck_cases =
               ]
             image
         in
-        List.for_all
+        Array.for_all
           (fun (_, sim) ->
             let b = Bep.bep sim in
             b >= 0 && b <= 5 * out.Runner.result.Engine.branches)
@@ -281,7 +281,7 @@ let qcheck_cases =
             ~archs:[ Bep.Static_fallthrough; Bep.Static_btfnt ] image
         in
         match out.Runner.sims with
-        | [ (_, a); (_, b) ] -> (Bep.counts a).Bep.cond = (Bep.counts b).Bep.cond
+        | [| (_, a); (_, b) |] -> (Bep.counts a).Bep.cond = (Bep.counts b).Bep.cond
         | _ -> false);
   ]
 
