@@ -169,13 +169,23 @@ let run_record () =
         let replay_s =
           time_run (fun () -> Ba_report.Harness.evaluate ~max_steps:record_steps w)
         in
-        let _, _, trace = Ba_workloads.Profiled.get_traced ~max_steps:record_steps w in
-        (w.Ba_workloads.Spec.name, interpret_s, replay_s, trace))
+        let program, profile, trace =
+          Ba_workloads.Profiled.get_traced ~max_steps:record_steps w
+        in
+        (* The static conflict analysis stage, from the warm profile: one
+           full default-suite pass over the original image's address map. *)
+        let analyze_s =
+          time_run (fun () ->
+              Ba_conflict.Analyze.analyze ~profile
+                (Ba_layout.Image.original ~profile program))
+        in
+        (w.Ba_workloads.Spec.name, interpret_s, replay_s, analyze_s, trace))
       Ba_workloads.Spec.all
   in
   let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
-  let total_interpret = total (fun (_, i, _, _) -> i) in
-  let total_replay = total (fun (_, _, r, _) -> r) in
+  let total_interpret = total (fun (_, i, _, _, _) -> i) in
+  let total_replay = total (fun (_, _, r, _, _) -> r) in
+  let total_analyze = total (fun (_, _, _, a, _) -> a) in
   let json =
     Ba_util.Json.Obj
       [
@@ -184,12 +194,13 @@ let run_record () =
         ( "workloads",
           Ba_util.Json.List
             (List.map
-               (fun (name, interpret_s, replay_s, trace) ->
+               (fun (name, interpret_s, replay_s, analyze_s, trace) ->
                  Ba_util.Json.Obj
                    [
                      ("workload", Ba_util.Json.String name);
                      ("interpret_s", Ba_util.Json.Float interpret_s);
                      ("replay_s", Ba_util.Json.Float replay_s);
+                     ("analyze_s", Ba_util.Json.Float analyze_s);
                      ("speedup", Ba_util.Json.Float (interpret_s /. replay_s));
                      ( "trace_bytes",
                        Ba_util.Json.Int (Ba_trace.Trace.byte_size trace) );
@@ -198,6 +209,7 @@ let run_record () =
                rows) );
         ("total_interpret_s", Ba_util.Json.Float total_interpret);
         ("total_replay_s", Ba_util.Json.Float total_replay);
+        ("total_analyze_s", Ba_util.Json.Float total_analyze);
         ("total_speedup", Ba_util.Json.Float (total_interpret /. total_replay));
       ]
   in
@@ -208,13 +220,15 @@ let run_record () =
   close_out oc;
   Printf.printf "== Perf trajectory (interpret vs replay, %d steps) ==\n" record_steps;
   List.iter
-    (fun (name, interpret_s, replay_s, trace) ->
-      Printf.printf "%-12s interpret %6.3fs  replay %6.3fs  speedup %5.2fx  trace %d B\n"
-        name interpret_s replay_s (interpret_s /. replay_s)
+    (fun (name, interpret_s, replay_s, analyze_s, trace) ->
+      Printf.printf
+        "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  speedup %5.2fx  trace %d B\n"
+        name interpret_s replay_s analyze_s
+        (interpret_s /. replay_s)
         (Ba_trace.Trace.byte_size trace))
     rows;
-  Printf.printf "%-12s interpret %6.3fs  replay %6.3fs  speedup %5.2fx\n" "TOTAL"
-    total_interpret total_replay
+  Printf.printf "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  speedup %5.2fx\n"
+    "TOTAL" total_interpret total_replay total_analyze
     (total_interpret /. total_replay);
   Printf.printf "wrote %s\n" path
 

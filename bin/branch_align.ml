@@ -379,6 +379,17 @@ let diag_table_columns =
 
 let plural n = if n = 1 then "" else "s"
 
+(* Info findings (the optimality audit and the conflict lint) can be
+   numerous on purpose-poor layouts like orig; the table views cap them per
+   workload so errors and warnings stay visible.  JSON always carries
+   everything. *)
+let max_table_infos = 10
+
+let image_for algo arch profile program =
+  match algo with
+  | Ba_core.Align.Original -> Ba_layout.Image.original ~profile program
+  | _ -> Ba_core.Align.image algo ~arch profile
+
 let lint_cmd workload algo arch strict format max_steps jobs =
   let workloads =
     match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
@@ -387,9 +398,41 @@ let lint_cmd workload algo arch strict format max_steps jobs =
     Ba_par.Pool.with_pool ?jobs (fun pool ->
         Ba_par.Pool.map pool
           (fun (w : Ba_workloads.Spec.t) ->
-            ( w,
-              Ba_analysis.Run.check_pipeline ~arch ~max_steps ~algo
-                (w.Ba_workloads.Spec.build ()) ))
+            let program, profile = Ba_workloads.Profiled.get ~max_steps w in
+            let report =
+              Ba_analysis.Run.check_pipeline ~arch ~max_steps ~profile ~algo
+                program
+            in
+            (* Extension stages: the conflict analyser and the optimality
+               auditor both need the lowered image, so they run only when
+               the five built-in stages are error-free. *)
+            let report =
+              if Ba_analysis.Run.error_count report > 0 then report
+              else begin
+                let image = image_for algo arch profile program in
+                let conflict = Ba_conflict.Lint.check ~profile image in
+                let audit =
+                  List.concat
+                    (List.init (Ba_ir.Program.n_procs program) (fun p ->
+                         Ba_verify.Audit.check ~arch
+                           ~visits:(fun b -> Ba_cfg.Profile.visits profile p b)
+                           ~cond_counts:(fun b ->
+                             Ba_cfg.Profile.cond_counts profile p b)
+                           ~proc_id:p
+                           image.Ba_layout.Image.linears.(p)))
+                in
+                {
+                  report with
+                  Ba_analysis.Run.stages =
+                    report.Ba_analysis.Run.stages
+                    @ [
+                        (Ba_analysis.Run.Conflict, conflict);
+                        (Ba_analysis.Run.Audit, audit);
+                      ];
+                }
+              end
+            in
+            (w, report))
           workloads)
   in
   let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
@@ -434,9 +477,23 @@ let lint_cmd workload algo arch strict format max_steps jobs =
         in
         Printf.printf "%-12s %d error%s, %d warning%s, %d info  [%s]\n"
           w.Ba_workloads.Spec.name e (plural e) warn (plural warn) i stages;
+        let shown = ref 0 and hidden = ref 0 in
         List.iter
-          (fun d -> rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows)
-          diags)
+          (fun d ->
+            if d.Ba_analysis.Diagnostic.severity <> Ba_analysis.Diagnostic.Info
+            then rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows
+            else if !shown < max_table_infos then begin
+              incr shown;
+              rows := (w.Ba_workloads.Spec.name :: Ba_analysis.Diagnostic.to_row d) :: !rows
+            end
+            else incr hidden)
+          diags;
+        if !hidden > 0 then
+          rows :=
+            [ w.Ba_workloads.Spec.name; "info"; "..."; "..."
+            ; Printf.sprintf "(%d more info findings; use --format=json for all)"
+                !hidden ]
+            :: !rows)
     reports;
   (match format with
   | Json ->
@@ -471,11 +528,6 @@ let lint_cmd workload algo arch strict format max_steps jobs =
       !total_errors (plural !total_errors) !total_warnings (plural !total_warnings)
       !total_infos);
   if !total_errors > 0 || (strict && !total_warnings > 0) then exit 1
-
-(* Info findings (the optimality audit) can be numerous on purpose-poor
-   layouts like orig; the table view caps them per workload so errors and
-   warnings stay visible.  JSON always carries everything. *)
-let max_table_infos = 10
 
 let verify_cmd workload algo arch strict no_audit format max_steps jobs =
   let workloads =
@@ -586,6 +638,210 @@ let verify_cmd workload algo arch strict no_audit format max_steps jobs =
     List.exists (fun (_, r) -> not r.Ba_verify.Run.verified) results
   in
   if !total_errors > 0 || unverified || (strict && !total_warnings > 0) then exit 1
+
+(* Static predictor-interference analysis: evaluate every predictor
+   structure's pure indexing function over the aligned image's address map,
+   weight the sites by the profile, and report which entries collide — no
+   simulation involved.  The default is the whole workload × algorithm ×
+   cost-model matrix (the lint-all shape); narrowing to a single cell
+   switches to the detailed per-structure report. *)
+
+let analyze_algos =
+  [
+    Ba_core.Align.Original; Ba_core.Align.Greedy; Ba_core.Align.Cost;
+    Ba_core.Align.Tryn 15;
+  ]
+
+let analyze_arches =
+  [
+    Ba_core.Cost_model.Fallthrough; Ba_core.Cost_model.Btfnt;
+    Ba_core.Cost_model.Likely; Ba_core.Cost_model.Pht; Ba_core.Cost_model.Btb;
+  ]
+
+type placement_outcome = {
+  p_before : int;
+  p_after : int;
+  p_swaps : int;
+  p_pads : int;
+  p_verified : bool;
+}
+
+type analyze_cell = {
+  cell_workload : Ba_workloads.Spec.t;
+  cell_algo : Ba_core.Align.algo;
+  cell_arch : Ba_core.Cost_model.arch;
+  cell_reports : Ba_conflict.Analyze.report list;
+  cell_placement : placement_outcome option;
+}
+
+let analyze_eval ~max_steps ~do_place (w, al, ar) =
+  let program, profile = Ba_workloads.Profiled.get ~max_steps w in
+  let decisions =
+    match al with
+    | Ba_core.Align.Original ->
+      Array.init (Ba_ir.Program.n_procs program) (fun p ->
+          Ba_layout.Decision.identity (Ba_ir.Program.proc program p))
+    | _ -> Ba_core.Align.align_program al ~arch:ar profile
+  in
+  let image = Ba_layout.Image.build ~profile program decisions in
+  let cell_reports = Ba_conflict.Analyze.analyze ~profile image in
+  let cell_placement =
+    if not do_place then None
+    else begin
+      let place = Ba_conflict.Place.improve ~arch:ar ~profile program decisions in
+      (* Placement perturbed the layout; prove the perturbed image is still
+         the same program (bisimulation) and still priced correctly (cost
+         certification) before trusting its conflict numbers. *)
+      let bisim, _certs, cert_diags, _audit =
+        Ba_verify.Run.verify_image ~audit:false
+          ~workload:w.Ba_workloads.Spec.name
+          ~algo:(Ba_core.Align.algo_name al) ~profile
+          place.Ba_conflict.Place.image
+      in
+      let errs, _, _ = Ba_analysis.Diagnostic.count (bisim @ cert_diags) in
+      Some
+        {
+          p_before = place.Ba_conflict.Place.before;
+          p_after = place.Ba_conflict.Place.after;
+          p_swaps = place.Ba_conflict.Place.swaps;
+          p_pads = Array.fold_left ( + ) 0 place.Ba_conflict.Place.pads;
+          p_verified = errs = 0;
+        }
+    end
+  in
+  { cell_workload = w; cell_algo = al; cell_arch = ar; cell_reports; cell_placement }
+
+let structure_matrix_cell (r : Ba_conflict.Analyze.report) =
+  match r.Ba_conflict.Analyze.body with
+  | Ba_conflict.Analyze.Map m ->
+    Ba_util.Ascii_table.int_cell
+      (m.Ba_conflict.Analyze.conflict_weight
+      + m.Ba_conflict.Analyze.destructive_weight)
+  | Ba_conflict.Analyze.Stack s -> (
+    match s.Ba_conflict.Analyze.static_bound with
+    | None -> "rec!"
+    | Some b ->
+      Printf.sprintf "%d%s" b
+        (if s.Ba_conflict.Analyze.overflow_possible then "!" else ""))
+
+let analyze_cmd workload algo arch do_place format max_steps jobs =
+  let workloads =
+    match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
+  in
+  let algos = match algo with Some a -> [ a ] | None -> analyze_algos in
+  let arches = match arch with Some a -> [ a ] | None -> analyze_arches in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.concat_map
+          (fun al -> List.map (fun ar -> (w, al, ar)) arches)
+          algos)
+      workloads
+  in
+  let cells =
+    Ba_par.Pool.with_pool ?jobs (fun pool ->
+        Ba_par.Pool.map pool (analyze_eval ~max_steps ~do_place) cells)
+  in
+  (match format with
+  | Json ->
+    let open Ba_util.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("command", String "analyze");
+              ( "cells",
+                List
+                  (List.map
+                     (fun c ->
+                       Obj
+                         ([
+                            ("workload", String c.cell_workload.Ba_workloads.Spec.name);
+                            ("algo", String (Ba_core.Align.algo_name c.cell_algo));
+                            ("arch", String (Ba_core.Cost_model.arch_name c.cell_arch));
+                            ( "objective",
+                              Int (Ba_conflict.Analyze.objective c.cell_reports) );
+                            ("structures", Ba_conflict.Analyze.to_json c.cell_reports);
+                          ]
+                         @
+                         match c.cell_placement with
+                         | None -> []
+                         | Some p ->
+                           [
+                             ( "placement",
+                               Obj
+                                 [
+                                   ("conflict_weight_before", Int p.p_before);
+                                   ("conflict_weight_after", Int p.p_after);
+                                   ("swaps", Int p.p_swaps);
+                                   ("pad_slots", Int p.p_pads);
+                                   ("verified", Bool p.p_verified);
+                                 ] );
+                           ]))
+                     cells) );
+            ]))
+  | Table -> (
+    match cells with
+    | [ c ] ->
+      Printf.printf "workload %s, algorithm %s, cost model %s\n\n"
+        c.cell_workload.Ba_workloads.Spec.name
+        (Ba_core.Align.algo_name c.cell_algo)
+        (Ba_core.Cost_model.arch_name c.cell_arch);
+      print_string (Ba_conflict.Analyze.render c.cell_reports);
+      (match c.cell_placement with
+      | None -> ()
+      | Some p ->
+        Printf.printf
+          "\nplacement: conflict weight %d -> %d (%d swap%s, %d pad slot%s), %s\n"
+          p.p_before p.p_after p.p_swaps (plural p.p_swaps) p.p_pads
+          (plural p.p_pads)
+          (if p.p_verified then "placed image verified"
+           else "placed image FAILED verification"))
+    | _ ->
+      let open Ba_util.Ascii_table in
+      let columns =
+        [ column ~align:Left "workload"; column ~align:Left "algo";
+          column ~align:Left "arch" ]
+        @ List.map
+            (fun s -> column (Ba_conflict.Structure.name s))
+            Ba_conflict.Structure.default_suite
+        @ [ column "total" ]
+        @
+        if do_place then
+          [ column "conflict-wt"; column "swaps"; column "pads";
+            column ~align:Left "verified" ]
+        else []
+      in
+      let rows =
+        List.map
+          (fun c ->
+            [
+              c.cell_workload.Ba_workloads.Spec.name;
+              Ba_core.Align.algo_name c.cell_algo;
+              Ba_core.Cost_model.arch_name c.cell_arch;
+            ]
+            @ List.map structure_matrix_cell c.cell_reports
+            @ [ int_cell (Ba_conflict.Analyze.objective c.cell_reports) ]
+            @
+            match c.cell_placement with
+            | None -> []
+            | Some p ->
+              [
+                Printf.sprintf "%d>%d" p.p_before p.p_after;
+                int_cell p.p_swaps;
+                int_cell p.p_pads;
+                (if p.p_verified then "yes" else "NO");
+              ])
+          cells
+      in
+      print_string (render ~columns ~rows)));
+  if
+    do_place
+    && List.exists
+         (fun c ->
+           match c.cell_placement with Some p -> not p.p_verified | None -> false)
+         cells
+  then exit 1
 
 let list_cmd () =
   let columns =
@@ -717,6 +973,38 @@ let () =
     let doc = "Treat warnings as fatal (non-zero exit)." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
+  let analyze =
+    let algo_opt_arg =
+      let doc =
+        "Restrict to one algorithm (default: orig, greedy, cost and try15)."
+      in
+      Arg.(value & opt (some algo_conv) None & info [ "algo" ] ~doc)
+    in
+    let arch_opt_arg =
+      let doc = "Restrict to one cost-model architecture (default: all five)." in
+      Arg.(value & opt (some arch_conv) None & info [ "arch" ] ~doc)
+    in
+    let placement_arg =
+      let doc =
+        "Run the conflict-aware placement post-pass on every cell, report \
+         the conflict objective before and after, and re-verify each placed \
+         image (bisimulation and cost certification); exits non-zero if any \
+         placed image fails to verify."
+      in
+      Arg.(value & flag & info [ "placement" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:
+           "Static predictor-interference analysis: evaluate each predictor \
+            structure's indexing function over the aligned image's address \
+            map and report the weighted conflicts (PHT aliasing, BTB set \
+            pressure, RAS depth, cache-line sharing) — per workload, \
+            algorithm and cost model, with no simulation.")
+      Term.(
+        const analyze_cmd $ workload_opt_arg $ algo_opt_arg $ arch_opt_arg
+        $ placement_arg $ format_arg $ max_steps_arg $ jobs_arg)
+  in
   let lint =
     Cmd.v
       (Cmd.info "lint"
@@ -748,4 +1036,4 @@ let () =
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
           [ run; list; dump; hotspots; record; replay; trace_group; disasm; simulate;
-            lint; verify ]))
+            analyze; lint; verify ]))

@@ -108,6 +108,22 @@ let run_all max_steps only tryn jobs timings metrics =
     print_string (Ba_obs.Sink.emit format r)
   | _ -> ()
 
+let placement_format_arg =
+  let doc = "Output format: the default ASCII table, or json." in
+  let fmt = Arg.enum [ ("ascii", `Ascii); ("table", `Ascii); ("json", `Json) ] in
+  Arg.(value & opt fmt `Ascii & info [ "format" ] ~doc)
+
+(* The conflict-aware placement table: penalty cycles with and without the
+   placement post-pass, across the seven simulated architectures. *)
+let run_placement max_steps only tryn jobs format =
+  let rows =
+    Ba_report.Placement.evaluate_suite ~max_steps ~tryn ?jobs (select only)
+  in
+  match format with
+  | `Ascii -> print_string (Ba_report.Placement.render rows)
+  | `Json ->
+    print_endline (Ba_util.Json.to_string (Ba_report.Placement.to_json rows))
+
 let calibrate max_steps only =
   let columns =
     Ba_util.Ascii_table.
@@ -573,6 +589,14 @@ let () =
           (fun ms only tryn jobs -> run_table `Table4 ms only tryn jobs);
         cmd "fig4" "Reproduce Figure 4 (Alpha 21064 execution time)."
           (fun ms only tryn jobs -> run_table `Fig4 ms only tryn jobs);
+        Cmd.v
+          (Cmd.info "placement"
+             ~doc:
+               "Penalty cycles with and without the conflict-aware placement \
+                post-pass (Try15/BTB baseline, seven architectures).")
+          Term.(
+            const run_placement $ max_steps_arg $ only_arg $ tryn_arg
+            $ jobs_arg $ placement_format_arg);
         Cmd.v
           (Cmd.info "all" ~doc:"Reproduce every table and figure.")
           Term.(

@@ -23,10 +23,14 @@ let check (image : Image.t) =
       (fun pid (linear : Linear.t) ->
         let proc_name = (Program.proc program pid).Proc.name in
         let proc_loc = Diagnostic.Proc { proc = pid; proc_name } in
-        if image.Image.bases.(pid) <> !expected_base then
+        (* A base past the previous end is a deliberate alignment gap
+           (conflict-aware placement pads between procedures); only bases
+           that run code into the preceding procedure are errors. *)
+        if image.Image.bases.(pid) < !expected_base then
           add
             (Diagnostic.make Diagnostic.Error ~rule:"image/proc-overlap" ~loc:proc_loc
-               "procedure based at address %d but the previous procedure ends at %d"
+               "procedure based at address %d overlaps the previous procedure, \
+                which ends at %d"
                image.Image.bases.(pid) !expected_base);
         let cursor = ref image.Image.bases.(pid) in
         Array.iteri

@@ -1,4 +1,4 @@
-type stage = Ir | Profile | Decision | Linear | Image
+type stage = Ir | Profile | Decision | Linear | Image | Conflict | Audit
 
 let stage_name = function
   | Ir -> "ir"
@@ -6,8 +6,11 @@ let stage_name = function
   | Decision -> "decision"
   | Linear -> "linear"
   | Image -> "image"
+  | Conflict -> "conflict"
+  | Audit -> "audit"
 
-let all_stages = [ Ir; Profile; Decision; Linear; Image ]
+let core_stages = [ Ir; Profile; Decision; Linear; Image ]
+let all_stages = core_stages @ [ Conflict; Audit ]
 
 type report = {
   program_name : string;

@@ -9,10 +9,19 @@
     errors (aligning an invalid program, or lowering a non-permutation,
     would crash rather than lint). *)
 
-type stage = Ir | Profile | Decision | Linear | Image
+type stage = Ir | Profile | Decision | Linear | Image | Conflict | Audit
+(** [Conflict] and [Audit] are extension stages: {!check_pipeline} cannot
+    run them itself (the conflict analyser and the alignment auditor live
+    above this library), so drivers append their findings to
+    {!report.stages} after the five built-in stages. *)
 
 val stage_name : stage -> string
+
 val all_stages : stage list
+(** Every stage in display order, extension stages last. *)
+
+val core_stages : stage list
+(** The five stages {!check_pipeline} runs itself. *)
 
 type report = {
   program_name : string;

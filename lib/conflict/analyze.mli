@@ -1,0 +1,87 @@
+(** Static predictor-interference analysis.
+
+    For each {!Structure} this evaluates the structure's pure indexing
+    function (from [Ba_predict]) over the static address map of a lowered
+    image, weights every branch site by the profile, and reports which
+    predictor entries end up shared — before any simulation runs.
+
+    Interference definitions, per entry (index):
+
+    - {b occupancy} — distinct indices holding at least one weighted item
+      (a conditional site for direction tables, an allocating site for the
+      BTB, a fetched cache line for the caches);
+    - {b conflict} — an index holding more items than it has ways; its
+      {e excess weight} is the item weight beyond the [assoc] heaviest
+      items, a lower bound on the interfering accesses;
+    - {b destructive interference} — for direction-predicting tables, an
+      index shared by sites of opposing profile-majority direction; its
+      weight is the lighter side's total (the accesses the heavier side
+      can disturb).
+
+    The return-address stack is not an indexed structure; its report is a
+    static call-chain depth bound checked against the stack depth.
+
+    The whole analysis is pure arithmetic over the address map, so it is
+    deterministic by construction and runs in one pass per structure. *)
+
+type occupant = {
+  o_key : int;  (** branch pc, or cache-line number for the caches *)
+  o_weight : int;
+  o_bias : bool option;
+      (** profile-majority predicted direction (direction tables only) *)
+  o_site : (Ba_ir.Term.proc_id * Ba_ir.Term.block_id) option;
+      (** heaviest contributing semantic site, when one exists *)
+}
+
+type conflict = {
+  index : int;
+  occupants : occupant list;  (** by decreasing weight, then key *)
+  excess_weight : int;
+  opposing : bool;
+  opposing_weight : int;  (** the lighter direction's weight, if opposing *)
+}
+
+type map_report = {
+  capacity : int;  (** number of sets (indices) *)
+  assoc : int;
+  items : int;  (** weighted items considered *)
+  total_weight : int;
+  used : int;
+  conflicts : conflict list;  (** by decreasing excess weight, then index *)
+  conflict_weight : int;  (** sum of excess weights *)
+  destructive_pairs : int;  (** conflicts with opposing biases *)
+  destructive_weight : int;
+}
+
+type ras_report = {
+  depth : int;
+  call_blocks : int;
+  static_bound : int option;  (** [None] = recursion, unbounded *)
+  overflow_possible : bool;
+}
+
+type body = Map of map_report | Stack of ras_report
+type report = { structure : Structure.t; body : body }
+
+val of_summary :
+  suite:Structure.t list -> bases:int array -> Site.summary -> report list
+(** Score an extracted site summary under the given procedure base
+    addresses — the placement search calls this directly to re-score one
+    lowering under many paddings without rebuilding images. *)
+
+val analyze :
+  ?suite:Structure.t list ->
+  profile:Ba_cfg.Profile.t ->
+  Ba_layout.Image.t ->
+  report list
+(** Extract sites and score them, under the ["analyze"] span.  [suite]
+    defaults to {!Structure.default_suite}. *)
+
+val objective : report list -> int
+(** The placement objective: total conflict plus destructive weight over
+    the map reports (the RAS is layout-invariant and contributes
+    nothing). *)
+
+val to_json : report list -> Ba_util.Json.t
+val render : report list -> string
+(** Ascii summary table, one row per structure. *)

@@ -1,0 +1,93 @@
+open Ba_analysis
+
+let hot_fraction = 0.05
+
+let rule_of = function
+  | Structure.Pht_direct _ | Structure.Pht_gshare _ | Structure.Two_level_local _
+    ->
+    "conflict/pht-hot-pair"
+  | Structure.Btb _ -> "conflict/btb-set-pressure"
+  | Structure.Icache _ -> "conflict/icache-hot-line"
+  | Structure.Alpha _ -> "conflict/alpha-line-sharing"
+  | Structure.Ras _ -> "conflict/ras-depth"
+
+let item_noun = function
+  | Structure.Btb _ -> "allocating branch sites"
+  | Structure.Icache _ -> "hot lines"
+  | Structure.Alpha _ -> "conditional-bearing lines"
+  | _ -> "hot conditionals"
+
+let loc_of program (c : Analyze.conflict) =
+  (* Occupants are weight-sorted; anchor at the heaviest one that maps to
+     a semantic block. *)
+  match
+    List.find_opt (fun (o : Analyze.occupant) -> o.Analyze.o_site <> None)
+      c.Analyze.occupants
+  with
+  | Some { Analyze.o_site = Some (proc, block); _ } ->
+    Diagnostic.Block
+      { proc; proc_name = (Ba_ir.Program.proc program proc).Ba_ir.Proc.name; block }
+  | _ -> Diagnostic.Program
+
+let keys_of (c : Analyze.conflict) =
+  String.concat ", "
+    (List.map
+       (fun (o : Analyze.occupant) -> string_of_int o.Analyze.o_key)
+       c.Analyze.occupants)
+
+let map_diags program structure (m : Analyze.map_report) =
+  let threshold =
+    int_of_float (ceil (hot_fraction *. float_of_int m.Analyze.total_weight))
+  in
+  let threshold = max threshold 1 in
+  List.filter_map
+    (fun (c : Analyze.conflict) ->
+      let heat = max c.Analyze.excess_weight c.Analyze.opposing_weight in
+      if heat < threshold then None
+      else
+        Some
+          (Diagnostic.make Diagnostic.Info ~rule:(rule_of structure)
+             ~loc:(loc_of program c)
+             "%s: index %d holds %d %s (%s %s); excess weight %d of %d total%s"
+             (Structure.name structure) c.Analyze.index
+             (List.length c.Analyze.occupants)
+             (item_noun structure)
+             (match structure with
+             | Structure.Icache _ | Structure.Alpha _ -> "lines"
+             | _ -> "pcs")
+             (keys_of c) c.Analyze.excess_weight m.Analyze.total_weight
+             (if c.Analyze.opposing then
+                Printf.sprintf ", opposing directions (weight %d)"
+                  c.Analyze.opposing_weight
+              else "")))
+    m.Analyze.conflicts
+
+let ras_diags structure (s : Analyze.ras_report) =
+  if not s.Analyze.overflow_possible then []
+  else
+    [
+      (match s.Analyze.static_bound with
+      | None ->
+        Diagnostic.make Diagnostic.Info ~rule:(rule_of structure)
+          ~loc:Diagnostic.Program
+          "%s: static call depth is unbounded (recursive call graph); the \
+           %d-entry return stack may overflow"
+          (Structure.name structure) s.Analyze.depth
+      | Some b ->
+        Diagnostic.make Diagnostic.Info ~rule:(rule_of structure)
+          ~loc:Diagnostic.Program
+          "%s: static call depth %d exceeds the %d-entry return stack"
+          (Structure.name structure) b s.Analyze.depth);
+    ]
+
+let of_reports program reports =
+  Diagnostic.sort
+    (List.concat_map
+       (fun (r : Analyze.report) ->
+         match r.Analyze.body with
+         | Analyze.Map m -> map_diags program r.Analyze.structure m
+         | Analyze.Stack s -> ras_diags r.Analyze.structure s)
+       reports)
+
+let check ?suite ~profile image =
+  of_reports image.Ba_layout.Image.program (Analyze.analyze ?suite ~profile image)

@@ -1,0 +1,108 @@
+open Ba_ir
+open Ba_layout
+
+type result = {
+  image : Image.t;
+  decisions : Decision.t array;
+  pads : int array;
+  before : int;
+  after : int;
+  swaps : int;
+}
+
+let objective_of ~suite ~profile image =
+  let summary = Site.extract ~profile image in
+  Analyze.objective
+    (Analyze.of_summary ~suite ~bases:image.Image.bases summary)
+
+let proc_branch_cost ~arch ~profile program decision p =
+  let proc = Program.proc program p in
+  let cond_counts b = Ba_cfg.Profile.cond_counts profile p b in
+  let linear = Lower.lower ~cond_counts proc decision in
+  Ba_core.Layout_cost.branch_cost ~arch
+    ~visits:(fun b -> Ba_cfg.Profile.visits profile p b)
+    ~cond_counts linear
+
+(* One greedy pass of adjacent swaps.  A swap must keep the procedure's own
+   exact branch cost from rising (the alignment's win is not negotiable)
+   and must strictly lower the global conflict objective. *)
+let swap_pass ~suite ~arch ~profile program decisions =
+  let n = Program.n_procs program in
+  let swaps = ref 0 in
+  let current_obj =
+    ref (objective_of ~suite ~profile (Image.build ~profile program decisions))
+  in
+  for p = 0 to n - 1 do
+    let len = Proc.n_blocks (Program.proc program p) in
+    for pos = 1 to len - 2 do
+      let candidate = Decision.swap_positions decisions.(p) pos (pos + 1) in
+      let cost_now = proc_branch_cost ~arch ~profile program decisions.(p) p in
+      let cost_swapped = proc_branch_cost ~arch ~profile program candidate p in
+      if cost_swapped <= cost_now +. 1e-6 then begin
+        let saved = decisions.(p) in
+        decisions.(p) <- candidate;
+        let obj = objective_of ~suite ~profile (Image.build ~profile program decisions) in
+        if obj < !current_obj then begin
+          current_obj := obj;
+          incr swaps
+        end
+        else decisions.(p) <- saved
+      end
+    done
+  done;
+  (!current_obj, !swaps)
+
+(* Greedy pad sweep: procedures in order, each pad chosen to minimise the
+   objective given the pads already fixed; ties keep the smaller pad, so a
+   layout with nothing to gain keeps all-zero pads. *)
+let pad_sweep ~suite ~max_pad ~profile program decisions =
+  let image = Image.build ~profile program decisions in
+  let summary = Site.extract ~profile image in
+  let n = Program.n_procs program in
+  let sizes =
+    Array.map (fun linear -> Linear.code_size linear) image.Image.linears
+  in
+  let pads = Array.make n 0 in
+  let bases_for pads =
+    let bases = Array.make n 0 in
+    let addr = ref 0 in
+    for p = 0 to n - 1 do
+      addr := !addr + pads.(p);
+      bases.(p) <- !addr;
+      addr := !addr + sizes.(p)
+    done;
+    bases
+  in
+  let objective pads =
+    Analyze.objective
+      (Analyze.of_summary ~suite ~bases:(bases_for pads) summary)
+  in
+  for p = 0 to n - 1 do
+    let best_pad = ref 0 and best_obj = ref (objective pads) in
+    for pad = 1 to max_pad do
+      pads.(p) <- pad;
+      let obj = objective pads in
+      if obj < !best_obj then begin
+        best_obj := obj;
+        best_pad := pad
+      end
+    done;
+    pads.(p) <- !best_pad
+  done;
+  pads
+
+let improve ?(suite = Structure.placement_suite)
+    ?(arch = Ba_core.Cost_model.Btfnt) ?(max_pad = 32) ~profile program
+    decisions =
+  Ba_obs.Span.with_ "place" @@ fun () ->
+  if Array.length decisions <> Program.n_procs program then
+    invalid_arg "Place.improve: one decision per procedure required";
+  let decisions = Array.copy decisions in
+  let before =
+    objective_of ~suite ~profile (Image.build ~profile program decisions)
+  in
+  let _, swaps = swap_pass ~suite ~arch ~profile program decisions in
+  let pads = pad_sweep ~suite ~max_pad ~profile program decisions in
+  let image = Image.build ~profile ~pads program decisions in
+  let after = objective_of ~suite ~profile image in
+  { image; decisions; pads; before; after; swaps }

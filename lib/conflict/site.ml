@@ -1,0 +1,177 @@
+open Ba_ir
+open Ba_layout
+
+type kind =
+  | Cond of { taken_on : bool; w_true : int; w_false : int }
+  | Jump
+  | Switch
+  | Call
+  | Vcall
+  | Ret
+
+type t = {
+  proc : Term.proc_id;
+  block : Term.block_id;
+  offset : int;
+  kind : kind;
+  weight : int;
+  taken_weight : int;
+}
+
+type region = {
+  r_proc : Term.proc_id;
+  r_offset : int;
+  r_size : int;
+  r_weight : int;
+}
+
+type summary = {
+  sites : t list;
+  regions : region list;
+  ras_bound : int option;
+  call_blocks : int;
+}
+
+(* Longest call chain from [main], in call edges; [None] on a reachable
+   cycle.  Vcall edges count like direct calls: the analysis is static, so
+   every possible callee extends the chain. *)
+let call_depth_bound (program : Program.t) =
+  let n = Program.n_procs program in
+  let callees = Array.make n [] in
+  for p = 0 to n - 1 do
+    let acc = ref [] in
+    Array.iter
+      (fun (b : Block.t) ->
+        match b.Block.term with
+        | Term.Call { callee; _ } -> acc := callee :: !acc
+        | Term.Vcall { callees = cs; _ } ->
+          Array.iter (fun (c, _) -> acc := c :: !acc) cs
+        | _ -> ())
+      (Program.proc program p).Proc.blocks;
+    callees.(p) <- List.sort_uniq compare !acc
+  done;
+  (* 0 = unvisited, 1 = on the current chain, 2 = done *)
+  let color = Array.make n 0 in
+  let depth = Array.make n 0 in
+  let exception Cycle in
+  let rec visit p =
+    match color.(p) with
+    | 1 -> raise Cycle
+    | 2 -> depth.(p)
+    | _ ->
+      color.(p) <- 1;
+      let d =
+        List.fold_left (fun acc c -> max acc (1 + visit c)) 0 callees.(p)
+      in
+      color.(p) <- 2;
+      depth.(p) <- d;
+      d
+  in
+  match visit program.Program.main with
+  | d -> Some d
+  | exception Cycle -> None
+
+let count_call_blocks (program : Program.t) =
+  let n = ref 0 in
+  Program.iter_blocks program (fun _ _ b ->
+      match b.Block.term with
+      | Term.Call _ | Term.Vcall _ -> incr n
+      | _ -> ());
+  !n
+
+let extract ~profile (image : Image.t) =
+  let program = image.Image.program in
+  let sites = ref [] and regions = ref [] in
+  let site s = sites := s :: !sites in
+  let region r = regions := r :: !regions in
+  Array.iteri
+    (fun p (linear : Linear.t) ->
+      let base = image.Image.bases.(p) in
+      Array.iter
+        (fun (lb : Linear.lblock) ->
+          let b = lb.Linear.src in
+          let visits = Ba_cfg.Profile.visits profile p b in
+          let pc = Linear.branch_pc lb in
+          let off = pc - base in
+          (* The fetched range of one visit: straight-line body plus the
+             first terminator instruction, exactly as the interpreter
+             reports it to [on_block]. *)
+          let fetched =
+            match lb.Linear.term with
+            | Linear.Lnone -> lb.Linear.insns
+            | _ -> lb.Linear.insns + 1
+          in
+          if fetched > 0 then
+            region
+              {
+                r_proc = p;
+                r_offset = lb.Linear.addr - base;
+                r_size = fetched;
+                r_weight = visits;
+              };
+          let uncond_site ~offset ~weight kind =
+            site
+              { proc = p; block = b; offset; kind; weight; taken_weight = weight }
+          in
+          match lb.Linear.term with
+          | Linear.Lnone | Linear.Lhalt -> ()
+          | Linear.Ljump _ -> uncond_site ~offset:off ~weight:visits Jump
+          | Linear.Lcond { taken_on; inserted_jump; _ } ->
+            let w_true, w_false = Ba_cfg.Profile.cond_counts profile p b in
+            let w_taken = if taken_on then w_true else w_false in
+            site
+              {
+                proc = p;
+                block = b;
+                offset = off;
+                kind = Cond { taken_on; w_true; w_false };
+                weight = w_true + w_false;
+                taken_weight = w_taken;
+              };
+            (match inserted_jump with
+            | None -> ()
+            | Some _ ->
+              let w_jump = w_true + w_false - w_taken in
+              uncond_site ~offset:(off + 1) ~weight:w_jump Jump;
+              region
+                {
+                  r_proc = p;
+                  r_offset = off + 1;
+                  r_size = 1;
+                  r_weight = w_jump;
+                })
+          | Linear.Lswitch _ -> uncond_site ~offset:off ~weight:visits Switch
+          | Linear.Lcall { cont; _ } | Linear.Lvcall { cont; _ } ->
+            let kind =
+              match lb.Linear.term with Linear.Lcall _ -> Call | _ -> Vcall
+            in
+            uncond_site ~offset:off ~weight:visits kind;
+            (match cont with
+            | Linear.Fall -> ()
+            | Linear.Jump_to _ ->
+              (* Executes once per return through this frame; the call
+                 count is a sound upper bound (a frame cut short by the
+                 step budget or a [Halt] never returns). *)
+              uncond_site ~offset:(off + 1) ~weight:visits Jump;
+              region
+                { r_proc = p; r_offset = off + 1; r_size = 1; r_weight = visits })
+          | Linear.Lret ->
+            site
+              {
+                proc = p;
+                block = b;
+                offset = off;
+                kind = Ret;
+                weight = visits;
+                taken_weight = 0;
+              })
+        linear.Linear.blocks)
+    image.Image.linears;
+  let by_place a b = compare (a.proc, a.offset) (b.proc, b.offset) in
+  let by_place_r a b = compare (a.r_proc, a.r_offset) (b.r_proc, b.r_offset) in
+  {
+    sites = List.sort by_place (List.rev !sites);
+    regions = List.sort by_place_r (List.rev !regions);
+    ras_bound = call_depth_bound program;
+    call_blocks = count_call_blocks program;
+  }

@@ -1,0 +1,62 @@
+(** Static branch sites of a lowered image, weighted by profile.
+
+    A site is one branch {e instruction} of the laid-out code — exactly the
+    addresses at which {!Ba_exec.Engine} emits events — described by its
+    position relative to its procedure's base address.  Keeping offsets
+    rather than absolute addresses lets conflict-aware placement re-score
+    the same sites under shifted procedure bases without re-lowering.
+
+    Weights come from the semantic profile, so they are exact for every
+    site the interpreter visits, with one deliberate over-approximation:
+    a call-continuation jump executes once per {e return} through its
+    frame, which the profile bounds by the call block's visits. *)
+
+type kind =
+  | Cond of { taken_on : bool; w_true : int; w_false : int }
+      (** conditional branch; [w_true]/[w_false] are semantic outcome
+          counts, and the branch is architecturally taken when the outcome
+          equals [taken_on] *)
+  | Jump  (** unconditional: explicit, inserted, or call-continuation *)
+  | Switch
+  | Call
+  | Vcall
+  | Ret
+
+type t = {
+  proc : Ba_ir.Term.proc_id;
+  block : Ba_ir.Term.block_id;  (** originating semantic block *)
+  offset : int;  (** branch pc relative to the procedure base *)
+  kind : kind;
+  weight : int;  (** times the branch instruction executes (see above) *)
+  taken_weight : int;
+      (** times it resolves taken — the BTB-allocating weight: full weight
+          for unconditional transfers, the taken-leg count for
+          conditionals, zero for returns (the RAS owns those) *)
+}
+
+type region = {
+  r_proc : Ba_ir.Term.proc_id;
+  r_offset : int;  (** first fetched address relative to the procedure base *)
+  r_size : int;
+  r_weight : int;
+}
+(** One fetched address range, mirroring the interpreter's [on_block]
+    callbacks (straight-line body plus the first terminator instruction;
+    inserted and continuation jumps fetch their own 1-instruction range). *)
+
+type summary = {
+  sites : t list;  (** in (procedure, offset) order *)
+  regions : region list;  (** in (procedure, offset) order *)
+  ras_bound : int option;
+      (** longest call chain from [main] in the static call graph — an
+          upper bound on return-stack depth; [None] when the call graph
+          has a reachable cycle (recursion, statically unbounded) *)
+  call_blocks : int;  (** call / vcall blocks in the program *)
+}
+
+val extract : profile:Ba_cfg.Profile.t -> Ba_layout.Image.t -> summary
+(** Sites and fetch regions of every procedure of the image, weighted by
+    [profile].  Zero-weight sites and regions are kept in the summary;
+    the analysis ignores them when counting occupancy and conflicts (a
+    never-executed branch cannot interfere), but they document the full
+    static map. *)

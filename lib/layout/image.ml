@@ -5,11 +5,17 @@ type t = {
   total_size : int;
 }
 
-let build ?profile program decisions =
+let build ?profile ?pads program decisions =
   Ba_obs.Span.with_ "lower" @@ fun () ->
   let n = Ba_ir.Program.n_procs program in
   if Array.length decisions <> n then
     invalid_arg "Image.build: one decision per procedure required";
+  (match pads with
+  | Some pads ->
+    if Array.length pads <> n then
+      invalid_arg "Image.build: one pad per procedure required";
+    Array.iter (fun pad -> if pad < 0 then invalid_arg "Image.build: negative pad") pads
+  | None -> ());
   let linears =
     Array.init n (fun p ->
         let proc = Ba_ir.Program.proc program p in
@@ -24,6 +30,9 @@ let build ?profile program decisions =
   let addr = ref 0 in
   Array.iteri
     (fun p linear ->
+      (match pads with
+      | Some pads -> addr := !addr + pads.(p)
+      | None -> ());
       bases.(p) <- !addr;
       Array.iter
         (fun (lb : Linear.lblock) ->

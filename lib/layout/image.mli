@@ -13,12 +13,19 @@ type t = {
 }
 
 val build :
-  ?profile:Ba_cfg.Profile.t -> Ba_ir.Program.t -> Decision.t array -> t
+  ?profile:Ba_cfg.Profile.t ->
+  ?pads:int array ->
+  Ba_ir.Program.t ->
+  Decision.t array ->
+  t
 (** [build program decisions] lowers every procedure and assigns addresses.
     [profile], when given, supplies the conditional counts used by
-    {!Lower.lower} for neither-adjacent conditionals.  Raises
-    [Invalid_argument] if the decision array length does not match or any
-    decision is invalid. *)
+    {!Lower.lower} for neither-adjacent conditionals.  [pads], when given,
+    inserts that many unused instruction slots {e before} each procedure
+    (conflict-aware placement shifts procedures to steer predictor
+    indices; the gap is never fetched, so execution is unchanged).  Raises
+    [Invalid_argument] if the decision or pad array length does not match,
+    any pad is negative, or any decision is invalid. *)
 
 val original : ?profile:Ba_cfg.Profile.t -> Ba_ir.Program.t -> t
 (** The identity layout of every procedure — the "Orig" rows of the paper's

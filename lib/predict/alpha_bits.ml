@@ -6,7 +6,6 @@ type line = {
 
 type t = {
   lines : line array;
-  line_mask : int;
   insns_per_line : int;
   (* local books, flushed to the predict.alpha.* counters once per run *)
   mutable s_cold : int;
@@ -25,16 +24,22 @@ let create ?(lines = 256) ?(insns_per_line = 8) () =
             bits = Array.make insns_per_line false;
             valid = Array.make insns_per_line false;
           });
-    line_mask = lines - 1;
     insns_per_line;
     s_cold = 0;
     s_refills = 0;
   }
 
+(* Pure indexing, shared with static conflict analysis: which predictor
+   line an address lives in (its tag), which stored line that maps to, and
+   its history-bit slot within the line. *)
+let line_no_of ~insns_per_line ~pc = pc / insns_per_line
+let slot_of ~insns_per_line ~pc = pc mod insns_per_line
+let line_index ~lines ~line_no = line_no land (lines - 1)
+
 let locate t ~pc =
-  let line_no = pc / t.insns_per_line in
-  let line = t.lines.(line_no land t.line_mask) in
-  (line, line_no, pc mod t.insns_per_line)
+  let line_no = line_no_of ~insns_per_line:t.insns_per_line ~pc in
+  let line = t.lines.(line_index ~lines:(Array.length t.lines) ~line_no) in
+  (line, line_no, slot_of ~insns_per_line:t.insns_per_line ~pc)
 
 let m_refill = Ba_obs.Counter.make ~unit_:"events" "predict.alpha.refill"
 let m_cold = Ba_obs.Counter.make ~unit_:"events" "predict.alpha.cold"

@@ -24,6 +24,21 @@ val update : t -> pc:int -> taken:bool -> unit
 (** Record the resolved direction in [pc]'s history bit, filling the line if
     needed. *)
 
+(** {1 Pure indexing}
+
+    Address-to-line functions, factored out so static conflict analysis
+    ({!Ba_conflict}) evaluates exactly the mapping the simulator uses. *)
+
+val line_no_of : insns_per_line:int -> pc:int -> int
+(** Cache line number (also the line's tag) of an instruction address. *)
+
+val slot_of : insns_per_line:int -> pc:int -> int
+(** History-bit slot of [pc] within its line. *)
+
+val line_index : lines:int -> line_no:int -> int
+(** Which stored line a line number maps to ([lines] is a power of two);
+    distinct line numbers with equal indices evict each other's bits. *)
+
 val flush_obs : t -> unit
 (** Flush the cold-bit and refill tallies accumulated since the last flush
     to the [predict.alpha.*] counters. *)

@@ -7,7 +7,6 @@ type entry = {
 
 type t = {
   sets : entry array array;  (* sets.(set).(way) *)
-  set_mask : int;
   mutable clock : int;
   (* local books, flushed to the predict.btb.* counters once per run *)
   mutable s_lookups : int;
@@ -36,7 +35,6 @@ let create ~entries ~assoc =
   let fresh_entry () = { tag = -1; target = 0; counter = 0; stamp = 0 } in
   {
     sets = Array.init n_sets (fun _ -> Array.init assoc (fun _ -> fresh_entry ()));
-    set_mask = n_sets - 1;
     clock = 0;
     s_lookups = 0;
     s_hits = 0;
@@ -47,13 +45,22 @@ let create ~entries ~assoc =
     s_sat_lo = 0;
   }
 
-let set_of t ~pc = t.sets.(pc land t.set_mask)
+(* Pure indexing, shared with static conflict analysis: the tag is the full
+   branch address, the set is its low bits. *)
+let set_index ~entries ~assoc ~pc = pc land ((entries / assoc) - 1)
+let tag_of ~pc = pc
+
+let set_of t ~pc =
+  let assoc = Array.length t.sets.(0) in
+  let entries = Array.length t.sets * assoc in
+  t.sets.(set_index ~entries ~assoc ~pc)
 
 let find_way set ~pc =
+  let tag = tag_of ~pc in
   let n = Array.length set in
   let rec scan i =
     if i = n then None
-    else if set.(i).tag = pc then Some set.(i)
+    else if set.(i).tag = tag then Some set.(i)
     else scan (i + 1)
   in
   scan 0
@@ -88,7 +95,7 @@ let update t ~pc ~taken ~target =
       let victim = Array.fold_left (fun acc e -> if e.stamp < acc.stamp then e else acc) set.(0) set in
       t.s_allocs <- t.s_allocs + 1;
       if victim.tag >= 0 then t.s_evicts <- t.s_evicts + 1;
-      victim.tag <- pc;
+      victim.tag <- tag_of ~pc;
       victim.target <- target;
       victim.counter <- (Counter2.strongly_taken :> int);
       touch t victim

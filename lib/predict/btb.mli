@@ -30,6 +30,18 @@ val update : t -> pc:int -> taken:bool -> target:int -> unit
 val entries : t -> int
 val assoc : t -> int
 
+(** {1 Pure indexing}
+
+    Address-to-set/tag functions, factored out so static conflict analysis
+    ({!Ba_conflict}) evaluates exactly the placement the simulator uses.
+    [entries]/[assoc] constraints are those of {!create}. *)
+
+val set_index : entries:int -> assoc:int -> pc:int -> int
+(** Set the branch at [pc] maps to: its address's low set bits. *)
+
+val tag_of : pc:int -> int
+(** Tag stored and compared for [pc]: the full branch address. *)
+
 val occupancy : t -> int
 (** Number of valid entries; alignment reduces this by making branches fall
     through (the paper's explanation of the small-BTB benefit). *)

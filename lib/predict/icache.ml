@@ -2,7 +2,6 @@ type set = { tags : int array; stamps : int array }
 
 type t = {
   sets : set array;
-  set_mask : int;
   insns_per_line : int;
   mutable clock : int;
   mutable accesses : int;
@@ -21,7 +20,6 @@ let create ?(lines = 256) ?(insns_per_line = 8) ?(assoc = 1) () =
   if insns_per_line <= 0 then invalid_arg "Icache.create: bad line size";
   {
     sets = Array.init n_sets (fun _ -> { tags = Array.make assoc (-1); stamps = Array.make assoc 0 });
-    set_mask = n_sets - 1;
     insns_per_line;
     clock = 0;
     accesses = 0;
@@ -33,10 +31,16 @@ let create ?(lines = 256) ?(insns_per_line = 8) ?(assoc = 1) () =
 let m_access = Ba_obs.Counter.make ~unit_:"lines" "predict.icache.access"
 let m_miss = Ba_obs.Counter.make ~unit_:"lines" "predict.icache.miss"
 
+(* Pure indexing, shared with static conflict analysis. *)
+let line_of ~insns_per_line ~addr = addr / insns_per_line
+let set_index ~lines ~assoc ~line = line land ((lines / assoc) - 1)
+
 let access_line t line_no =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  let set = t.sets.(line_no land t.set_mask) in
+  let assoc = Array.length t.sets.(0).tags in
+  let lines = Array.length t.sets * assoc in
+  let set = t.sets.(set_index ~lines ~assoc ~line:line_no) in
   let ways = Array.length set.tags in
   let rec find i = if i = ways then None else if set.tags.(i) = line_no then Some i else find (i + 1) in
   match find 0 with
@@ -55,8 +59,8 @@ let touch_range t ~addr ~size =
   if size <= 0 then 0
   else begin
     let before = t.misses in
-    let first = addr / t.insns_per_line in
-    let last = (addr + size - 1) / t.insns_per_line in
+    let first = line_of ~insns_per_line:t.insns_per_line ~addr in
+    let last = line_of ~insns_per_line:t.insns_per_line ~addr:(addr + size - 1) in
     for line = first to last do
       access_line t line
     done;

@@ -25,6 +25,17 @@ val accesses : t -> int
 
 val miss_rate : t -> float
 
+(** {1 Pure indexing}
+
+    Address-to-line/set functions, factored out so static conflict analysis
+    ({!Ba_conflict}) evaluates exactly the mapping the cache model uses. *)
+
+val line_of : insns_per_line:int -> addr:int -> int
+(** Cache line number of an instruction address. *)
+
+val set_index : lines:int -> assoc:int -> line:int -> int
+(** Set a line number maps to ([lines]/[assoc] power-of-two sets). *)
+
 val flush_obs : t -> unit
 (** Flush accesses and misses accumulated since the last flush to the
     [predict.icache.*] counters. *)

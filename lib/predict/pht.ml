@@ -54,10 +54,17 @@ let create_gshare ~entries ~history_bits =
     s_sat_lo = 0;
   }
 
+(* The pure indexing functions.  Simulation (below) and static conflict
+   analysis (Ba_conflict) both go through these, so the two views of "which
+   counter does this branch hash to" cannot drift apart. *)
+let direct_index ~entries ~pc = pc land (entries - 1)
+let gshare_index ~entries ~history ~pc = (pc lxor history) land (entries - 1)
+
 let index t ~pc =
+  let entries = Array.length t.table in
   match t.scheme with
-  | Direct -> pc land t.mask
-  | Gshare _ -> (pc lxor t.history) land t.mask
+  | Direct -> direct_index ~entries ~pc
+  | Gshare _ -> gshare_index ~entries ~history:t.history ~pc
 
 let predict t ~pc =
   t.s_lookups <- t.s_lookups + 1;

@@ -28,6 +28,20 @@ val update : t -> pc:int -> taken:bool -> unit
 
 val entries : t -> int
 
+(** {1 Pure indexing}
+
+    The address-to-entry functions, factored out so static analysis
+    ({!Ba_conflict}) evaluates exactly the hash the simulator uses.
+    [entries] must be a power of two, as in {!create_direct}. *)
+
+val direct_index : entries:int -> pc:int -> int
+(** Entry the direct-mapped table consults for the conditional at [pc]. *)
+
+val gshare_index : entries:int -> history:int -> pc:int -> int
+(** Entry the gshare table consults for [pc] under a given global history
+    register value.  The history is dynamic state; address-only analyses
+    conventionally project it to 0. *)
+
 val flush_obs : t -> unit
 (** Flush the books accumulated since the last flush to the
     [predict.pht.*] / [predict.counter2.*] counters; the lookup and update

@@ -1,6 +1,6 @@
 type scheme =
   | Global of { mutable history : int }
-  | Local of { histories : int array; branch_mask : int }
+  | Local of { histories : int array }
 
 type t = {
   pattern : int array;  (* Counter2 states *)
@@ -35,17 +35,24 @@ let create_local ?(history_bits = 12) ?(branch_entries = 1024) () =
   {
     pattern = Array.make (1 lsl history_bits) (Counter2.initial :> int);
     pattern_mask = (1 lsl history_bits) - 1;
-    scheme = Local { histories = Array.make branch_entries 0; branch_mask = branch_entries - 1 };
+    scheme = Local { histories = Array.make branch_entries 0 };
     s_lookups = 0;
     s_hits = 0;
     s_sat_hi = 0;
     s_sat_lo = 0;
   }
 
+(* Pure indexing, shared with static conflict analysis: which per-branch
+   history register the local scheme consults for an address.  Two branches
+   mapping to the same register interleave their outcome streams. *)
+let local_index ~branch_entries ~pc = pc land (branch_entries - 1)
+
 let index t ~pc =
   match t.scheme with
   | Global { history } -> history land t.pattern_mask
-  | Local { histories; branch_mask } -> histories.(pc land branch_mask) land t.pattern_mask
+  | Local { histories } ->
+    histories.(local_index ~branch_entries:(Array.length histories) ~pc)
+    land t.pattern_mask
 
 let m_lookup = Ba_obs.Counter.make ~unit_:"events" "predict.two_level.lookup"
 let m_hit = Ba_obs.Counter.make ~unit_:"events" "predict.two_level.hit"
@@ -64,8 +71,8 @@ let update t ~pc ~taken =
   let bit = if taken then 1 else 0 in
   match t.scheme with
   | Global g -> g.history <- ((g.history lsl 1) lor bit) land t.pattern_mask
-  | Local { histories; branch_mask } ->
-    let j = pc land branch_mask in
+  | Local { histories } ->
+    let j = local_index ~branch_entries:(Array.length histories) ~pc in
     histories.(j) <- ((histories.(j) lsl 1) lor bit) land t.pattern_mask
 
 let name t =

@@ -27,6 +27,12 @@ val predict : t -> pc:int -> bool
 val update : t -> pc:int -> taken:bool -> unit
 val name : t -> string
 
+val local_index : branch_entries:int -> pc:int -> int
+(** Pure indexing of the {e local} scheme's per-branch history table: which
+    history register the conditional at [pc] reads and shifts.  Shared with
+    static conflict analysis ({!Ba_conflict}); [branch_entries] must be a
+    power of two, as in {!create_local}. *)
+
 val flush_obs : t -> unit
 (** Flush the books accumulated since the last flush to the
     [predict.two_level.*] / [predict.counter2.*] counters. *)

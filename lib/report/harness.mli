@@ -25,6 +25,12 @@ type arch_cpis = {
   btb256 : float;
 }
 
+val full_archs : [ `Arch of Ba_sim.Bep.arch | `Likely ] list
+(** The seven simulated branch architectures of Tables 3/4, in column
+    order.  [`Likely] stands for profile-guided hint bits, which must be
+    rebuilt per image ({!Ba_predict.Likely_bits.build}); the placement
+    table reuses this list so its columns match. *)
+
 type eval = {
   workload : Ba_workloads.Spec.t;
   orig_insns : int;

@@ -1,0 +1,134 @@
+open Ba_core
+open Ba_sim
+
+type row = {
+  workload : Ba_workloads.Spec.t;
+  base : int array;
+  placed : int array;
+  effective : int array;
+  applied : bool;
+  before : int;
+  after : int;
+  swaps : int;
+  pad_slots : int;
+}
+
+let arch_labels =
+  [
+    "FALLTHROUGH";
+    "BT/FNT";
+    "LIKELY";
+    "PHT-4096";
+    "gshare-4096";
+    "BTB-64/2";
+    "BTB-256/4";
+  ]
+
+let penalties ~max_steps ~profile ?trace image =
+  let archs =
+    List.map
+      (function
+        | `Likely ->
+          Bep.Static_likely (Ba_predict.Likely_bits.build image profile)
+        | `Arch a -> a)
+      Harness.full_archs
+  in
+  let outcome = Runner.simulate ~max_steps ?trace ~archs image in
+  Array.map (fun (_, sim) -> Bep.bep sim) outcome.Runner.sims
+
+let evaluate ?max_steps ?(tryn = 15) ?(replay = true)
+    (workload : Ba_workloads.Spec.t) =
+  let max_steps =
+    match max_steps with
+    | Some s -> s
+    | None -> Ba_workloads.Spec.default_max_steps
+  in
+  let program, profile, trace =
+    Ba_workloads.Profiled.get_traced ~max_steps workload
+  in
+  let trace = if replay then Some trace else None in
+  (* The canonical BTB-aligned Try15 layout — the configuration the paper
+     carries into its hardware evaluation — is the placement baseline. *)
+  let decisions =
+    Align.align_program (Align.Tryn tryn) ~arch:Cost_model.Btb profile
+  in
+  let base_image = Ba_layout.Image.build ~profile program decisions in
+  let place =
+    Ba_conflict.Place.improve ~arch:Cost_model.Btb ~profile program decisions
+  in
+  let base = penalties ~max_steps ~profile ?trace base_image in
+  let placed = penalties ~max_steps ~profile ?trace place.Ba_conflict.Place.image in
+  let total a = Array.fold_left ( + ) 0 a in
+  let applied = total placed <= total base in
+  {
+    workload;
+    base;
+    placed;
+    effective = (if applied then placed else base);
+    applied;
+    before = place.Ba_conflict.Place.before;
+    after = place.Ba_conflict.Place.after;
+    swaps = place.Ba_conflict.Place.swaps;
+    pad_slots = Array.fold_left ( + ) 0 place.Ba_conflict.Place.pads;
+  }
+
+let evaluate_suite ?max_steps ?tryn ?jobs ?replay workloads =
+  Ba_par.Pool.with_pool ?jobs (fun pool ->
+      Ba_par.Pool.map pool (evaluate ?max_steps ?tryn ?replay) workloads)
+
+let render rows =
+  let open Ba_util.Ascii_table in
+  let columns =
+    column ~align:Left "workload"
+    :: List.map (fun l -> column l) arch_labels
+    @ [ column "conflict-wt"; column "swaps"; column "pads"; column ~align:Left "kept" ]
+  in
+  let cell base placed = Printf.sprintf "%d>%d" base placed in
+  let to_row r =
+    r.workload.Ba_workloads.Spec.name
+    :: List.init (Array.length r.base) (fun i -> cell r.base.(i) r.placed.(i))
+    @ [
+        Printf.sprintf "%d>%d" r.before r.after;
+        int_cell r.swaps;
+        int_cell r.pad_slots;
+        (if r.applied then "yes" else "no (reverted)");
+      ]
+  in
+  let groups =
+    List.filter_map
+      (fun cls ->
+        match
+          List.filter (fun r -> r.workload.Ba_workloads.Spec.cls = cls) rows
+        with
+        | [] -> None
+        | rs -> Some (Ba_workloads.Spec.cls_name cls, List.map to_row rs))
+      [ Ba_workloads.Spec.Fp; Ba_workloads.Spec.Int; Ba_workloads.Spec.Other ]
+  in
+  render_grouped ~columns ~groups
+
+let to_json rows =
+  let open Ba_util.Json in
+  let arr a = List (Array.to_list (Array.map (fun v -> Int v) a)) in
+  Obj
+    [
+      ("schema", String "ba-placement/1");
+      ("arch_labels", List (List.map (fun l -> String l) arch_labels));
+      ( "rows",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("workload", String r.workload.Ba_workloads.Spec.name);
+                   ("class", String (Ba_workloads.Spec.cls_name r.workload.Ba_workloads.Spec.cls));
+                   ("base_penalty_cycles", arr r.base);
+                   ("placed_penalty_cycles", arr r.placed);
+                   ("effective_penalty_cycles", arr r.effective);
+                   ("applied", Bool r.applied);
+                   ("conflict_weight_before", Int r.before);
+                   ("conflict_weight_after", Int r.after);
+                   ("swaps", Int r.swaps);
+                   ("pad_slots", Int r.pad_slots);
+                 ])
+             rows) );
+    ]

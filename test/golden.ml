@@ -159,8 +159,34 @@ let metrics_json (slug, workload, cost_arch, make_arch) =
           : Ba_sim.Runner.outcome));
   (slug, Ba_util.Json.to_string (Ba_obs.Sink.to_json registry) ^ "\n")
 
+(* -- Canonical conflict report --------------------------------------------- *)
+
+(* The default-suite static conflict analysis of one workload's original
+   image — the analyze subcommand's table and JSON, pinned byte-for-byte.
+   wave5's unaligned layout genuinely collides (nonzero conflict weight in
+   several structures), so the snapshot pins real conflict lists, not just
+   empty maps.  The analysis is pure arithmetic over the address map, so
+   any drift here means the indexing functions, the site extraction, or
+   the report rendering changed. *)
+let conflict_report () =
+  let spec =
+    match Ba_workloads.Spec.by_name "wave5" with
+    | Some w -> w
+    | None -> failwith "unknown canonical workload wave5"
+  in
+  let program, profile = Ba_workloads.Profiled.get ~max_steps spec in
+  let image = Ba_layout.Image.original ~profile program in
+  let reports = Ba_conflict.Analyze.analyze ~profile image in
+  String.concat "\n"
+    [
+      "== wave5, original image: static predictor conflicts ==";
+      Ba_conflict.Analyze.render reports;
+      Ba_util.Json.to_string (Ba_conflict.Analyze.to_json reports) ^ "\n";
+    ]
+
 let () =
   check "tables" (tables ());
+  check "conflict_report" (conflict_report ());
   List.iter
     (fun case ->
       let slug, json = metrics_json case in

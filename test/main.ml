@@ -5,4 +5,5 @@ let () =
          Test_exec.suites; Test_predict.suites; Test_core.suites; Test_sim.suites;
          Test_workloads.suites; Test_report.suites; Test_isa.suites;
          Test_analysis.suites; Test_verify.suites; Test_obs.suites;
-         Test_par.suites; Test_trace.suites; Test_fuzz.suites ])
+         Test_par.suites; Test_trace.suites; Test_conflict.suites;
+         Test_fuzz.suites ])

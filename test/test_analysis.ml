@@ -138,7 +138,7 @@ let test_pipeline_clean_on_workload () =
   List.iter
     (fun s ->
       Alcotest.(check bool) (Run.stage_name s ^ " ran") true (Run.ran report s))
-    Run.all_stages
+    Run.core_stages
 
 let suites =
   [
