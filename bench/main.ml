@@ -179,13 +179,27 @@ let run_record () =
               Ba_conflict.Analyze.analyze ~profile
                 (Ba_layout.Image.original ~profile program))
         in
-        (w.Ba_workloads.Spec.name, interpret_s, replay_s, analyze_s, trace))
+        (* The abstract-interpretation bound stage: price the original
+           image under all five cost-model architectures. *)
+        let bound_s =
+          time_run (fun () ->
+              let image = Ba_layout.Image.original ~profile program in
+              List.iter
+                (fun model ->
+                  ignore
+                    (Ba_bound.Analyze.bounds
+                       ~arch:(Ba_bound.Analyze.arch_of_model model ~profile image)
+                       ~profile image))
+                Ba_report.Gap.models)
+        in
+        (w.Ba_workloads.Spec.name, interpret_s, replay_s, analyze_s, bound_s, trace))
       Ba_workloads.Spec.all
   in
   let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
-  let total_interpret = total (fun (_, i, _, _, _) -> i) in
-  let total_replay = total (fun (_, _, r, _, _) -> r) in
-  let total_analyze = total (fun (_, _, _, a, _) -> a) in
+  let total_interpret = total (fun (_, i, _, _, _, _) -> i) in
+  let total_replay = total (fun (_, _, r, _, _, _) -> r) in
+  let total_analyze = total (fun (_, _, _, a, _, _) -> a) in
+  let total_bound = total (fun (_, _, _, _, b, _) -> b) in
   let json =
     Ba_util.Json.Obj
       [
@@ -194,13 +208,14 @@ let run_record () =
         ( "workloads",
           Ba_util.Json.List
             (List.map
-               (fun (name, interpret_s, replay_s, analyze_s, trace) ->
+               (fun (name, interpret_s, replay_s, analyze_s, bound_s, trace) ->
                  Ba_util.Json.Obj
                    [
                      ("workload", Ba_util.Json.String name);
                      ("interpret_s", Ba_util.Json.Float interpret_s);
                      ("replay_s", Ba_util.Json.Float replay_s);
                      ("analyze_s", Ba_util.Json.Float analyze_s);
+                     ("bound_s", Ba_util.Json.Float bound_s);
                      ("speedup", Ba_util.Json.Float (interpret_s /. replay_s));
                      ( "trace_bytes",
                        Ba_util.Json.Int (Ba_trace.Trace.byte_size trace) );
@@ -210,6 +225,7 @@ let run_record () =
         ("total_interpret_s", Ba_util.Json.Float total_interpret);
         ("total_replay_s", Ba_util.Json.Float total_replay);
         ("total_analyze_s", Ba_util.Json.Float total_analyze);
+        ("total_bound_s", Ba_util.Json.Float total_bound);
         ("total_speedup", Ba_util.Json.Float (total_interpret /. total_replay));
       ]
   in
@@ -220,15 +236,18 @@ let run_record () =
   close_out oc;
   Printf.printf "== Perf trajectory (interpret vs replay, %d steps) ==\n" record_steps;
   List.iter
-    (fun (name, interpret_s, replay_s, analyze_s, trace) ->
+    (fun (name, interpret_s, replay_s, analyze_s, bound_s, trace) ->
       Printf.printf
-        "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  speedup %5.2fx  trace %d B\n"
-        name interpret_s replay_s analyze_s
+        "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  bound %6.3fs  \
+         speedup %5.2fx  trace %d B\n"
+        name interpret_s replay_s analyze_s bound_s
         (interpret_s /. replay_s)
         (Ba_trace.Trace.byte_size trace))
     rows;
-  Printf.printf "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  speedup %5.2fx\n"
-    "TOTAL" total_interpret total_replay total_analyze
+  Printf.printf
+    "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  bound %6.3fs  \
+     speedup %5.2fx\n"
+    "TOTAL" total_interpret total_replay total_analyze total_bound
     (total_interpret /. total_replay);
   Printf.printf "wrote %s\n" path
 

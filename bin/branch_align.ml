@@ -403,9 +403,10 @@ let lint_cmd workload algo arch strict format max_steps jobs =
               Ba_analysis.Run.check_pipeline ~arch ~max_steps ~profile ~algo
                 program
             in
-            (* Extension stages: the conflict analyser and the optimality
-               auditor both need the lowered image, so they run only when
-               the five built-in stages are error-free. *)
+            (* Extension stages: the conflict analyser, the optimality
+               auditor and the static bound checker all need the lowered
+               image, so they run only when the five built-in stages are
+               error-free. *)
             let report =
               if Ba_analysis.Run.error_count report > 0 then report
               else begin
@@ -421,6 +422,7 @@ let lint_cmd workload algo arch strict format max_steps jobs =
                            ~proc_id:p
                            image.Ba_layout.Image.linears.(p)))
                 in
+                let bound = Ba_bound.Lint.check ~algo ~arch ~profile image in
                 {
                   report with
                   Ba_analysis.Run.stages =
@@ -428,6 +430,7 @@ let lint_cmd workload algo arch strict format max_steps jobs =
                     @ [
                         (Ba_analysis.Run.Conflict, conflict);
                         (Ba_analysis.Run.Audit, audit);
+                        (Ba_analysis.Run.Bound, bound);
                       ];
                 }
               end
@@ -843,6 +846,158 @@ let analyze_cmd workload algo arch do_place format max_steps jobs =
          cells
   then exit 1
 
+(* Static cost bounds: abstract-interpret each cell's lowered image into a
+   sound [lower, upper] interval on expected penalty cycles — no
+   simulation, pure arithmetic over the address map and the profile.  A
+   single cell prints the per-site detail rows; the default is the
+   workload x algorithm x cost-model matrix. *)
+
+type bound_cell = {
+  b_workload : Ba_workloads.Spec.t;
+  b_algo : Ba_core.Align.algo;
+  b_arch : Ba_core.Cost_model.arch;
+  b_analysis : Ba_bound.Analyze.t;
+}
+
+let bound_eval ~max_steps (w, al, ar) =
+  let program, profile = Ba_workloads.Profiled.get ~max_steps w in
+  let image = image_for al ar profile program in
+  let sim_arch = Ba_bound.Analyze.arch_of_model ar ~profile image in
+  {
+    b_workload = w;
+    b_algo = al;
+    b_arch = ar;
+    b_analysis = Ba_bound.Analyze.analyze ~arch:sim_arch ~profile image;
+  }
+
+let bound_row_json (r : Ba_bound.Analyze.row) =
+  let open Ba_util.Json in
+  Obj
+    [
+      ("proc", Int r.Ba_bound.Analyze.proc);
+      ("block", Int r.Ba_bound.Analyze.block);
+      ("pc", Int r.Ba_bound.Analyze.pc);
+      ("pooled", Int r.Ba_bound.Analyze.pooled);
+      ("weight", Int r.Ba_bound.Analyze.weight);
+      ("what", String r.Ba_bound.Analyze.what);
+      ("lower", Int r.Ba_bound.Analyze.penalty.Ba_bound.Domain.lo);
+      ("upper", Int r.Ba_bound.Analyze.penalty.Ba_bound.Domain.hi);
+    ]
+
+let bound_cmd workload algo arch format max_steps jobs =
+  let workloads =
+    match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
+  in
+  let algos = match algo with Some a -> [ a ] | None -> analyze_algos in
+  let arches = match arch with Some a -> [ a ] | None -> analyze_arches in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.concat_map
+          (fun al -> List.map (fun ar -> (w, al, ar)) arches)
+          algos)
+      workloads
+  in
+  let cells =
+    Ba_par.Pool.with_pool ?jobs (fun pool ->
+        Ba_par.Pool.map pool (bound_eval ~max_steps) cells)
+  in
+  match format with
+  | Json ->
+    let open Ba_util.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("command", String "bound");
+              ( "cells",
+                List
+                  (List.map
+                     (fun c ->
+                       let a = c.b_analysis in
+                       Obj
+                         [
+                           ("workload", String c.b_workload.Ba_workloads.Spec.name);
+                           ("algo", String (Ba_core.Align.algo_name c.b_algo));
+                           ("arch", String (Ba_core.Cost_model.arch_name c.b_arch));
+                           ( "sim_arch",
+                             String (Ba_sim.Bep.arch_label a.Ba_bound.Analyze.arch) );
+                           ("lower", Int a.Ba_bound.Analyze.total.Ba_bound.Domain.lo);
+                           ("upper", Int a.Ba_bound.Analyze.total.Ba_bound.Domain.hi);
+                           ("extra_lower", Int a.Ba_bound.Analyze.extra_lo);
+                           ( "sites",
+                             List (List.map bound_row_json a.Ba_bound.Analyze.rows) );
+                         ])
+                     cells) );
+            ]))
+  | Table -> (
+    match cells with
+    | [ c ] ->
+      let a = c.b_analysis in
+      Printf.printf
+        "workload %s, algorithm %s, cost model %s (simulated as %s)\n\n"
+        c.b_workload.Ba_workloads.Spec.name
+        (Ba_core.Align.algo_name c.b_algo)
+        (Ba_core.Cost_model.arch_name c.b_arch)
+        (Ba_sim.Bep.arch_label a.Ba_bound.Analyze.arch);
+      let columns =
+        Ba_util.Ascii_table.
+          [
+            column "proc"; column "pc"; column ~align:Left "site"; column "pooled";
+            column "weight"; column "lower"; column "upper"; column "width";
+          ]
+      in
+      let rows =
+        List.map
+          (fun (r : Ba_bound.Analyze.row) ->
+            Ba_util.Ascii_table.
+              [
+                string_of_int r.Ba_bound.Analyze.proc;
+                string_of_int r.Ba_bound.Analyze.pc;
+                r.Ba_bound.Analyze.what;
+                string_of_int r.Ba_bound.Analyze.pooled;
+                int_cell r.Ba_bound.Analyze.weight;
+                int_cell r.Ba_bound.Analyze.penalty.Ba_bound.Domain.lo;
+                int_cell r.Ba_bound.Analyze.penalty.Ba_bound.Domain.hi;
+                int_cell (Ba_bound.Domain.width r.Ba_bound.Analyze.penalty);
+              ])
+          a.Ba_bound.Analyze.rows
+      in
+      print_string (Ba_util.Ascii_table.render ~columns ~rows);
+      if a.Ba_bound.Analyze.extra_lo > 0 then
+        Printf.printf "\nwhole-layout extra lower bound: %d cycle%s\n"
+          a.Ba_bound.Analyze.extra_lo
+          (plural a.Ba_bound.Analyze.extra_lo);
+      Printf.printf "\ntotal: [%s, %s] penalty cycles (width %s)\n"
+        (Ba_util.Ascii_table.int_cell a.Ba_bound.Analyze.total.Ba_bound.Domain.lo)
+        (Ba_util.Ascii_table.int_cell a.Ba_bound.Analyze.total.Ba_bound.Domain.hi)
+        (Ba_util.Ascii_table.int_cell (Ba_bound.Domain.width a.Ba_bound.Analyze.total))
+    | _ ->
+      let open Ba_util.Ascii_table in
+      let columns =
+        [
+          column ~align:Left "workload"; column ~align:Left "algo";
+          column ~align:Left "arch"; column "sites"; column "lower";
+          column "upper"; column "width";
+        ]
+      in
+      let rows =
+        List.map
+          (fun c ->
+            let a = c.b_analysis in
+            [
+              c.b_workload.Ba_workloads.Spec.name;
+              Ba_core.Align.algo_name c.b_algo;
+              Ba_core.Cost_model.arch_name c.b_arch;
+              string_of_int (List.length a.Ba_bound.Analyze.rows);
+              int_cell a.Ba_bound.Analyze.total.Ba_bound.Domain.lo;
+              int_cell a.Ba_bound.Analyze.total.Ba_bound.Domain.hi;
+              int_cell (Ba_bound.Domain.width a.Ba_bound.Analyze.total);
+            ])
+          cells
+      in
+      print_string (render ~columns ~rows))
+
 let list_cmd () =
   let columns =
     Ba_util.Ascii_table.
@@ -1005,6 +1160,29 @@ let () =
         const analyze_cmd $ workload_opt_arg $ algo_opt_arg $ arch_opt_arg
         $ placement_arg $ format_arg $ max_steps_arg $ jobs_arg)
   in
+  let bound =
+    let algo_opt_arg =
+      let doc =
+        "Restrict to one algorithm (default: orig, greedy, cost and try15)."
+      in
+      Arg.(value & opt (some algo_conv) None & info [ "algo" ] ~doc)
+    in
+    let arch_opt_arg =
+      let doc = "Restrict to one cost-model architecture (default: all five)." in
+      Arg.(value & opt (some arch_conv) None & info [ "arch" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "bound"
+         ~doc:
+           "Static cost bounds: abstract-interpret each lowered image into a \
+            sound [lower, upper] interval on its expected branch-penalty \
+            cycles — per workload, algorithm and cost model, with no \
+            simulation.  A single cell prints the per-site detail; output is \
+            byte-identical at any $(b,-j).")
+      Term.(
+        const bound_cmd $ workload_opt_arg $ algo_opt_arg $ arch_opt_arg
+        $ format_arg $ max_steps_arg $ jobs_arg)
+  in
   let lint =
     Cmd.v
       (Cmd.info "lint"
@@ -1036,4 +1214,4 @@ let () =
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
           [ run; list; dump; hotspots; record; replay; trace_group; disasm; simulate;
-            analyze; lint; verify ]))
+            analyze; bound; lint; verify ]))

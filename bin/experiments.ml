@@ -124,6 +124,15 @@ let run_placement max_steps only tryn jobs format =
   | `Json ->
     print_endline (Ba_util.Json.to_string (Ba_report.Placement.to_json rows))
 
+(* The measured optimality-gap table: exact simulated penalty cycles of
+   each algorithm's layout against the Optimal-k branch-and-bound winner,
+   whose search is pruned by the static Ba_bound lower bounds. *)
+let run_gap max_steps only tryn jobs k format =
+  let rows = Ba_report.Gap.evaluate_suite ~max_steps ~k ~tryn ?jobs (select only) in
+  match format with
+  | `Ascii -> print_string (Ba_report.Gap.render rows)
+  | `Json -> print_endline (Ba_util.Json.to_string (Ba_report.Gap.to_json rows))
+
 let calibrate max_steps only =
   let columns =
     Ba_util.Ascii_table.
@@ -597,6 +606,20 @@ let () =
           Term.(
             const run_placement $ max_steps_arg $ only_arg $ tryn_arg
             $ jobs_arg $ placement_format_arg);
+        Cmd.v
+          (Cmd.info "gap"
+             ~doc:
+               "Measured optimality gaps: simulated penalty cycles of \
+                Greedy, Cost and Try15 against the Optimal-k \
+                branch-and-bound winner (pruned by static lower bounds), \
+                per workload and cost-model architecture.")
+          Term.(
+            const run_gap $ max_steps_arg $ only_arg $ tryn_arg $ jobs_arg
+            $ Arg.(
+                value & opt int 4
+                & info [ "k" ]
+                    ~doc:"How many of the hottest chains Optimal-k reorders.")
+            $ placement_format_arg);
         Cmd.v
           (Cmd.info "all" ~doc:"Reproduce every table and figure.")
           Term.(

@@ -1,4 +1,4 @@
-type stage = Ir | Profile | Decision | Linear | Image | Conflict | Audit
+type stage = Ir | Profile | Decision | Linear | Image | Conflict | Audit | Bound
 
 let stage_name = function
   | Ir -> "ir"
@@ -8,9 +8,10 @@ let stage_name = function
   | Image -> "image"
   | Conflict -> "conflict"
   | Audit -> "audit"
+  | Bound -> "bound"
 
 let core_stages = [ Ir; Profile; Decision; Linear; Image ]
-let all_stages = core_stages @ [ Conflict; Audit ]
+let all_stages = core_stages @ [ Conflict; Audit; Bound ]
 
 type report = {
   program_name : string;

@@ -9,8 +9,8 @@
     errors (aligning an invalid program, or lowering a non-permutation,
     would crash rather than lint). *)
 
-type stage = Ir | Profile | Decision | Linear | Image | Conflict | Audit
-(** [Conflict] and [Audit] are extension stages: {!check_pipeline} cannot
+type stage = Ir | Profile | Decision | Linear | Image | Conflict | Audit | Bound
+(** [Conflict], [Audit] and [Bound] are extension stages: {!check_pipeline} cannot
     run them itself (the conflict analyser and the alignment auditor live
     above this library), so drivers append their findings to
     {!report.stages} after the five built-in stages. *)

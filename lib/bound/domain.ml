@@ -1,0 +1,45 @@
+type interval = { lo : int; hi : int }
+
+let max0 x = if x > 0 then x else 0
+
+let make lo hi =
+  let lo = max0 lo in
+  { lo; hi = max lo hi }
+
+let exact x = make x x
+let zero = { lo = 0; hi = 0 }
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let sum l = List.fold_left add zero l
+let scale k i = make (k * i.lo) (k * i.hi)
+let width i = i.hi - i.lo
+let contains i x = i.lo <= x && x <= i.hi
+
+module Counter = struct
+  (* The state space is Counter2's: 0..3, predict taken at >= 2, saturating
+     +/-1 updates.  The initial state of every structure in lib/predict is
+     Counter2.initial (weakly not-taken); BTB allocations install
+     Counter2.strongly_taken.  Both are threaded in by the analyzer. *)
+
+  let serve_taken ~state w = (min w (max0 (2 - state)), min 3 (state + w))
+  let serve_not_taken ~state w = (min w (max0 (state - 1)), max0 (state - w))
+
+  let mispredicts ~state ~taken ~not_taken =
+    (* Minimum: batching is optimal — serve one direction to saturation,
+       then the other; take the better of the two orders.  Exhaustively
+       equal to the true minimum over all interleavings (test_bound). *)
+    let tn =
+      let m1, s1 = serve_taken ~state taken in
+      m1 + fst (serve_not_taken ~state:s1 not_taken)
+    in
+    let nt =
+      let m1, s1 = serve_not_taken ~state not_taken in
+      m1 + fst (serve_taken ~state:s1 taken)
+    in
+    (* Maximum: a taken outcome mispredicts only at state <= 1; past the
+       initial allowance [max0 (2 - state)] each such visit needs one
+       not-taken outcome to drag the counter back down, and symmetrically
+       for not-taken mispredicts.  Pair them off. *)
+    let t_max = min taken (not_taken + max0 (2 - state)) in
+    let n_max = min not_taken (taken + max0 (state - 1)) in
+    make (min tn nt) (min (taken + not_taken) (t_max + n_max))
+end

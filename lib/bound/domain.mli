@@ -1,0 +1,50 @@
+(** Abstract domains for the static cost-bound analysis.
+
+    Two pieces live here, both pure arithmetic:
+
+    - {b Intervals} of penalty cycles: [\[lo, hi\]] with [0 <= lo <= hi],
+      closed under pointwise addition.  An interval abstracts the set of
+      penalties a site (or a whole layout) can incur over every execution
+      order compatible with the profile's exact outcome counts.
+
+    - {b The 2-bit-counter domain}: given a saturating counter's start
+      state and the number of taken / not-taken outcomes it will serve
+      (in an unknown interleaving), sound bounds on how many of those
+      outcomes it mispredicts.  The transfer functions mirror
+      {!Ba_predict.Counter2} exactly — predict at state [>= 2], saturate
+      at [0]/[3] — and the unit tests enumerate every interleaving of
+      small batches against the real counter to pin both bounds.
+
+    The lower bound is exactly the minimum over interleavings (batching
+    one direction then the other is optimal; verified exhaustively).  The
+    upper bound is the pairing bound [min (w_t + w_f,
+    T_max + N_max)] where each extra taken-mispredict beyond the initial
+    allowance consumes a not-taken outcome and vice versa — sound, and
+    loose only when both directions are large. *)
+
+type interval = { lo : int; hi : int }
+
+val exact : int -> interval
+val make : int -> int -> interval
+(** [make lo hi] clamps to [0 <= lo <= hi]. *)
+
+val zero : interval
+val add : interval -> interval -> interval
+val sum : interval list -> interval
+val scale : int -> interval -> interval
+val width : interval -> int
+val contains : interval -> int -> bool
+
+(** Interval abstraction of one {!Ba_predict.Counter2} cell. *)
+module Counter : sig
+  val serve_taken : state:int -> int -> int * int
+  (** [serve_taken ~state w]: mispredicts and final state after serving
+      [w] consecutive taken outcomes from [state]. *)
+
+  val serve_not_taken : state:int -> int -> int * int
+
+  val mispredicts : state:int -> taken:int -> not_taken:int -> interval
+  (** Bounds on the number of mispredicted outcomes when the cell serves
+      [taken] taken and [not_taken] not-taken outcomes in an arbitrary
+      order, starting from [state]. *)
+end

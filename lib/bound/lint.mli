@@ -1,0 +1,21 @@
+(** The [bound/*] lint rules, both Info severity (see DESIGN.md):
+
+    - [bound/provably-suboptimal] — some other alignment algorithm's
+      layout has a static {e upper} bound below this layout's static
+      {e lower} bound under the cell's architecture: the layout is
+      certified suboptimal without running a simulation.
+    - [bound/gap-too-wide] — the layout's own interval is too wide to
+      support conclusions (expected for dynamic-history predictors, whose
+      static domain is nearly vacuous).
+
+    Merged into [branch_align lint] as the [bound] extension stage. *)
+
+val check :
+  algo:Ba_core.Align.algo ->
+  arch:Ba_core.Cost_model.arch ->
+  profile:Ba_cfg.Profile.t ->
+  Ba_layout.Image.t ->
+  Ba_analysis.Diagnostic.t list
+(** [image] must be [algo]'s layout under [arch]; the rule compares it
+    against the other three algorithms' layouts rebuilt from the same
+    profile. *)

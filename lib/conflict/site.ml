@@ -2,9 +2,9 @@ open Ba_ir
 open Ba_layout
 
 type kind =
-  | Cond of { taken_on : bool; w_true : int; w_false : int }
-  | Jump
-  | Switch
+  | Cond of { taken_on : bool; w_true : int; w_false : int; taken_off : int }
+  | Jump of { cont : bool }
+  | Switch of { live_targets : int }
   | Call
   | Vcall
   | Ret
@@ -115,16 +115,20 @@ let extract ~profile (image : Image.t) =
           in
           match lb.Linear.term with
           | Linear.Lnone | Linear.Lhalt -> ()
-          | Linear.Ljump _ -> uncond_site ~offset:off ~weight:visits Jump
-          | Linear.Lcond { taken_on; inserted_jump; _ } ->
+          | Linear.Ljump _ ->
+            uncond_site ~offset:off ~weight:visits (Jump { cont = false })
+          | Linear.Lcond { taken_pos; taken_on; inserted_jump } ->
             let w_true, w_false = Ba_cfg.Profile.cond_counts profile p b in
             let w_taken = if taken_on then w_true else w_false in
+            let taken_off =
+              linear.Linear.blocks.(taken_pos).Linear.addr - base
+            in
             site
               {
                 proc = p;
                 block = b;
                 offset = off;
-                kind = Cond { taken_on; w_true; w_false };
+                kind = Cond { taken_on; w_true; w_false; taken_off };
                 weight = w_true + w_false;
                 taken_weight = w_taken;
               };
@@ -132,7 +136,7 @@ let extract ~profile (image : Image.t) =
             | None -> ()
             | Some _ ->
               let w_jump = w_true + w_false - w_taken in
-              uncond_site ~offset:(off + 1) ~weight:w_jump Jump;
+              uncond_site ~offset:(off + 1) ~weight:w_jump (Jump { cont = false });
               region
                 {
                   r_proc = p;
@@ -140,7 +144,19 @@ let extract ~profile (image : Image.t) =
                   r_size = 1;
                   r_weight = w_jump;
                 })
-          | Linear.Lswitch _ -> uncond_site ~offset:off ~weight:visits Switch
+          | Linear.Lswitch { positions; _ } ->
+            (* Distinct target addresses the trace actually exercises: a
+               BTB can serve a one-hot switch perfectly after its first
+               visit, but every fresh target address is a guaranteed
+               mispredict. *)
+            let counts = Ba_cfg.Profile.switch_counts profile p b in
+            let live = Hashtbl.create 4 in
+            Array.iteri
+              (fun case count ->
+                if count > 0 then Hashtbl.replace live positions.(case) ())
+              counts;
+            uncond_site ~offset:off ~weight:visits
+              (Switch { live_targets = Hashtbl.length live })
           | Linear.Lcall { cont; _ } | Linear.Lvcall { cont; _ } ->
             let kind =
               match lb.Linear.term with Linear.Lcall _ -> Call | _ -> Vcall
@@ -152,7 +168,7 @@ let extract ~profile (image : Image.t) =
               (* Executes once per return through this frame; the call
                  count is a sound upper bound (a frame cut short by the
                  step budget or a [Halt] never returns). *)
-              uncond_site ~offset:(off + 1) ~weight:visits Jump;
+              uncond_site ~offset:(off + 1) ~weight:visits (Jump { cont = true });
               region
                 { r_proc = p; r_offset = off + 1; r_size = 1; r_weight = visits })
           | Linear.Lret ->

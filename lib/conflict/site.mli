@@ -12,12 +12,19 @@
     frame, which the profile bounds by the call block's visits. *)
 
 type kind =
-  | Cond of { taken_on : bool; w_true : int; w_false : int }
+  | Cond of { taken_on : bool; w_true : int; w_false : int; taken_off : int }
       (** conditional branch; [w_true]/[w_false] are semantic outcome
-          counts, and the branch is architecturally taken when the outcome
-          equals [taken_on] *)
-  | Jump  (** unconditional: explicit, inserted, or call-continuation *)
-  | Switch
+          counts, the branch is architecturally taken when the outcome
+          equals [taken_on], and [taken_off] is the taken target's address
+          relative to the procedure base (so BT/FNT direction is decidable
+          without the image: taken iff [taken_off <= offset]) *)
+  | Jump of { cont : bool }
+      (** unconditional: explicit or inserted ([cont = false]), or a
+          call-continuation jump ([cont = true]) whose weight is the
+          over-approximate once-per-return count *)
+  | Switch of { live_targets : int }
+      (** [live_targets]: distinct target addresses with nonzero profile
+          count — the floor on BTB target mispredictions *)
   | Call
   | Vcall
   | Ret

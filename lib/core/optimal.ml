@@ -1,0 +1,183 @@
+open Ba_ir
+open Ba_layout
+
+(* Optimal-k: bounded exhaustive reordering of the k hottest chains of the
+   hottest procedure, pruned by a static lower bound.
+
+   The search is oracle-parameterized so [ba_core] stays free of the
+   simulator and bound-analysis dependencies: [bounds] prices a candidate
+   statically (Ba_bound over its image), [cost] prices it exactly (a trace
+   replay through Ba_sim).  Candidates are simulated in ascending
+   lower-bound order; once one is priced, every candidate whose lower
+   bound already meets the incumbent is pruned unsimulated.  The sound
+   pricing function is what makes the pruning a proof, not a heuristic:
+   [best_cost] can never beat the pruned candidates' true costs. *)
+
+type candidate = {
+  perm : int array;  (* movable-chain permutation, indices into [movable] *)
+  decisions : Decision.t array;
+  lower : int;
+  upper : int;
+}
+
+type result = {
+  proc : Term.proc_id;
+  chains : int;
+  movable : int;
+  candidates : int;
+  simulated : int;
+  pruned : int;
+  base_cost : int;
+  best_cost : int;
+  best_lower : int;
+  best_perm : int array;
+  best : Decision.t array;
+}
+
+let m_candidates =
+  Ba_obs.Counter.make ~unit_:"layouts" "core.align.optimal.candidates"
+
+let m_simulated =
+  Ba_obs.Counter.make ~unit_:"layouts" "core.align.optimal.simulated"
+
+let m_pruned = Ba_obs.Counter.make ~unit_:"layouts" "core.align.optimal.pruned"
+
+let hottest_proc profile =
+  let program = Ba_cfg.Profile.program profile in
+  let best = ref 0 and best_w = ref (-1) in
+  for p = 0 to Program.n_procs program - 1 do
+    let w = ref 0 in
+    Array.iteri
+      (fun b _ -> w := !w + Ba_cfg.Profile.visits profile p b)
+      (Program.proc program p).Proc.blocks;
+    if !w > !best_w then begin
+      best := p;
+      best_w := !w
+    end
+  done;
+  !best
+
+(* Split a decision order into chains: consecutive positions stay chained
+   while the earlier block has a CFG edge to the later one (the layout kept
+   them adjacent on purpose); a missing edge starts a new chain. *)
+let chains_of (proc : Proc.t) (order : Term.block_id array) =
+  let n = Array.length order in
+  let cuts = ref [ 0 ] in
+  for i = 1 to n - 1 do
+    let prev = (Proc.block proc order.(i - 1)).Block.term in
+    if not (List.mem order.(i) (Term.successors prev)) then cuts := i :: !cuts
+  done;
+  let cuts = Array.of_list (List.rev !cuts) in
+  Array.to_list
+    (Array.mapi
+       (fun c start ->
+         let stop = if c + 1 < Array.length cuts then cuts.(c + 1) else n in
+         (start, stop - start))
+       cuts)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let search ?(k = 4) ~bounds ~cost ~profile base =
+  let program = Ba_cfg.Profile.program profile in
+  let pid = hottest_proc profile in
+  let proc = Program.proc program pid in
+  let order = base.(pid).Decision.order in
+  let chain_list = chains_of proc order in
+  let weight_of (start, len) =
+    let w = ref 0 in
+    for i = start to start + len - 1 do
+      w := !w + Ba_cfg.Profile.visits profile pid order.(i)
+    done;
+    !w
+  in
+  (* The entry chain is pinned (layouts must keep the entry block first);
+     the k hottest of the rest move.  Ties break toward earlier chains so
+     the candidate set is deterministic. *)
+  let rest = List.tl chain_list in
+  let ranked =
+    List.stable_sort
+      (fun a b -> compare (- weight_of a) (- weight_of b))
+      rest
+  in
+  let movable =
+    List.sort compare
+      (List.filteri (fun i _ -> i < k) ranked)
+  in
+  let movable_arr = Array.of_list movable in
+  let is_movable c = List.mem c movable in
+  let make_order perm =
+    (* Walk the original chain sequence; fixed chains emit themselves,
+       movable slots emit the permuted movable chains in [perm] order. *)
+    let out = Array.make (Array.length order) 0 in
+    let pos = ref 0 and slot = ref 0 in
+    List.iter
+      (fun c ->
+        let start, len =
+          if is_movable c then begin
+            let c' = movable_arr.(perm.(!slot)) in
+            incr slot;
+            c'
+          end
+          else c
+        in
+        for i = start to start + len - 1 do
+          out.(!pos) <- order.(i);
+          incr pos
+        done)
+      chain_list;
+    out
+  in
+  let mk_candidate perm =
+    let ord = make_order (Array.of_list perm) in
+    let decisions = Array.copy base in
+    decisions.(pid) <-
+      Decision.of_order ~neither:(Array.copy base.(pid).Decision.neither) ord;
+    let lower, upper = bounds decisions in
+    { perm = Array.of_list perm; decisions; lower; upper }
+  in
+  let idx = List.init (Array.length movable_arr) Fun.id in
+  let cands = List.map mk_candidate (permutations idx) in
+  (* Ascending lower bound, original generation order on ties: simulate
+     the most promising candidates first so pruning bites early. *)
+  let ranked_cands =
+    List.stable_sort (fun a b -> compare a.lower b.lower) cands
+  in
+  let base_cost = cost base in
+  let incumbent = ref max_int and best = ref None in
+  let simulated = ref 0 and pruned = ref 0 in
+  List.iter
+    (fun c ->
+      if c.lower >= !incumbent then incr pruned
+      else begin
+        incr simulated;
+        let x = cost c.decisions in
+        if x < !incumbent then begin
+          incumbent := x;
+          best := Some c
+        end
+      end)
+    ranked_cands;
+  let best_c =
+    match !best with Some c -> c | None -> List.hd ranked_cands
+  in
+  Ba_obs.Counter.add m_candidates (List.length cands);
+  Ba_obs.Counter.add m_simulated !simulated;
+  Ba_obs.Counter.add m_pruned !pruned;
+  {
+    proc = pid;
+    chains = List.length chain_list;
+    movable = Array.length movable_arr;
+    candidates = List.length cands;
+    simulated = !simulated;
+    pruned = !pruned;
+    base_cost;
+    best_cost = (if !best = None then base_cost else !incumbent);
+    best_lower = best_c.lower;
+    best_perm = best_c.perm;
+    best = best_c.decisions;
+  }

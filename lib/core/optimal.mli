@@ -1,0 +1,49 @@
+(** Optimal-k: branch-and-bound search over chain reorderings.
+
+    Splits the hottest procedure's layout into chains (maximal runs of
+    blocks the decision kept CFG-adjacent), permutes the [k] hottest
+    non-entry chains exhaustively ([k]! candidate layouts, identity
+    included), prices every candidate with a {e sound} static lower/upper
+    bound, and only simulates candidates whose lower bound still beats the
+    best exactly-priced cost — so the reported optimum over the candidate
+    set is exact despite most candidates never being simulated.
+
+    The pricing functions are passed in ([ba_core] knows nothing of the
+    simulator): [bounds] is typically [Ba_bound.Analyze.bounds] over the
+    candidate's image, [cost] a trace replay through [Ba_sim.Runner].
+    Soundness of [bounds] is the pruning's correctness condition, and the
+    test wall asserts the witness: [best_cost >= best_lower] always. *)
+
+type candidate = {
+  perm : int array;
+  decisions : Ba_layout.Decision.t array;
+  lower : int;
+  upper : int;
+}
+
+type result = {
+  proc : Ba_ir.Term.proc_id;  (** the reordered (hottest) procedure *)
+  chains : int;  (** chains its layout splits into *)
+  movable : int;  (** chains actually permuted, [<= k] *)
+  candidates : int;  (** [movable]! layouts priced statically *)
+  simulated : int;  (** layouts priced exactly *)
+  pruned : int;  (** layouts rejected on their lower bound alone *)
+  base_cost : int;  (** exact cost of the base layout *)
+  best_cost : int;  (** exact cost of the winner; [<= base_cost] *)
+  best_lower : int;  (** the winner's own static lower bound *)
+  best_perm : int array;
+  best : Ba_layout.Decision.t array;
+}
+
+val search :
+  ?k:int ->
+  bounds:(Ba_layout.Decision.t array -> int * int) ->
+  cost:(Ba_layout.Decision.t array -> int) ->
+  profile:Ba_cfg.Profile.t ->
+  Ba_layout.Decision.t array ->
+  result
+(** [search ~bounds ~cost ~profile base] explores reorderings of [base]
+    (one decision per procedure, as {!Align.align_program} returns).
+    [k] defaults to 4 (at most 24 candidates).  Deterministic: ties in
+    procedure heat, chain heat and lower bounds all break toward earlier
+    positions. *)

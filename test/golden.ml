@@ -184,9 +184,70 @@ let conflict_report () =
       Ba_util.Json.to_string (Ba_conflict.Analyze.to_json reports) ^ "\n";
     ]
 
+(* -- Canonical bound report ------------------------------------------------ *)
+
+(* The abstract-interpretation cost bounds of one workload under BT/FNT,
+   for both the Try15 layout and the original one, plus the bound lint of
+   the Try15 cell.  wave5's Try15/BT-FNT layout is genuinely certified
+   suboptimal by the static bounds alone (orig's upper bound sits below
+   its lower bound), so the snapshot pins a live
+   [bound/provably-suboptimal] finding, not just interval arithmetic. *)
+let bound_report () =
+  let spec =
+    match Ba_workloads.Spec.by_name "wave5" with
+    | Some w -> w
+    | None -> failwith "unknown canonical workload wave5"
+  in
+  let program, profile = Ba_workloads.Profiled.get ~max_steps spec in
+  let analyze image =
+    Ba_bound.Analyze.analyze
+      ~arch:
+        (Ba_bound.Analyze.arch_of_model Ba_core.Cost_model.Btfnt ~profile image)
+      ~profile image
+  in
+  let detail (a : Ba_bound.Analyze.t) =
+    String.concat "\n"
+      (List.map
+         (fun (r : Ba_bound.Analyze.row) ->
+           Printf.sprintf "proc %d pc %-4d %-9s pooled %d weight %-6d [%d, %d]"
+             r.Ba_bound.Analyze.proc r.Ba_bound.Analyze.pc r.Ba_bound.Analyze.what
+             r.Ba_bound.Analyze.pooled r.Ba_bound.Analyze.weight
+             r.Ba_bound.Analyze.penalty.Ba_bound.Domain.lo
+             r.Ba_bound.Analyze.penalty.Ba_bound.Domain.hi)
+         a.Ba_bound.Analyze.rows
+      @ [
+          Printf.sprintf "total [%d, %d] extra_lo %d"
+            a.Ba_bound.Analyze.total.Ba_bound.Domain.lo
+            a.Ba_bound.Analyze.total.Ba_bound.Domain.hi
+            a.Ba_bound.Analyze.extra_lo;
+        ])
+  in
+  let t15 =
+    Ba_core.Align.image (Ba_core.Align.Tryn 15) ~arch:Ba_core.Cost_model.Btfnt
+      profile
+  in
+  let orig = Ba_layout.Image.original ~profile program in
+  let diags =
+    Ba_bound.Lint.check ~algo:(Ba_core.Align.Tryn 15)
+      ~arch:Ba_core.Cost_model.Btfnt ~profile t15
+  in
+  String.concat "\n"
+    ([
+       "== wave5, Try15/BT-FNT: static cost bounds ==";
+       detail (analyze t15);
+       "== wave5, orig/BT-FNT: static cost bounds ==";
+       detail (analyze orig);
+       "== wave5, Try15/BT-FNT: bound lint ==";
+     ]
+    @ List.map
+        (fun d -> Format.asprintf "%a" Ba_analysis.Diagnostic.pp d)
+        diags)
+  ^ "\n"
+
 let () =
   check "tables" (tables ());
   check "conflict_report" (conflict_report ());
+  check "bound_report" (bound_report ());
   List.iter
     (fun case ->
       let slug, json = metrics_json case in

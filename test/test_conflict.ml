@@ -96,13 +96,14 @@ let csite ~block ~offset ~w_true ~w_false =
     Site.proc = 0;
     block;
     offset;
-    kind = Site.Cond { taken_on = true; w_true; w_false };
+    kind = Site.Cond { taken_on = true; w_true; w_false; taken_off = 0 };
     weight = w_true + w_false;
     taken_weight = w_true;
   }
 
 let jsite ~block ~offset ~weight =
-  { Site.proc = 0; block; offset; kind = Site.Jump; weight; taken_weight = weight }
+  { Site.proc = 0; block; offset; kind = Site.Jump { cont = false }; weight;
+    taken_weight = weight }
 
 let summary ?(sites = []) ?(regions = []) ?(ras_bound = Some 0)
     ?(call_blocks = 0) () =
@@ -623,6 +624,111 @@ let test_place_qcheck =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Placement edge cases: degenerate inputs the improver must survive
+   without perturbing anything it should not. *)
+
+(* Single-block procedures: main's callee has no non-entry position, so
+   the swap search has nothing to move and padding is the only lever. *)
+let test_place_single_block () =
+  let open Ba_ir in
+  let lone =
+    Program.make ~name:"lone" ~seed:1
+      [| Proc.make ~name:"main" [| Block.make ~insns:4 Term.Halt |] |]
+  in
+  let with_leaf =
+    Program.make ~name:"with-leaf" ~seed:2
+      [|
+        Proc.make ~name:"main"
+          [|
+            Block.make ~insns:2 (Term.Call { callee = 1; next = 1 });
+            Block.make ~insns:2 Term.Halt;
+          |];
+        Proc.make ~name:"leaf" [| Block.make ~insns:3 Term.Ret |];
+      |]
+  in
+  List.iter
+    (fun program ->
+      let profile, _ =
+        Ba_trace.Record.profile_and_record ~max_steps:qcheck_steps program
+      in
+      let decisions =
+        Array.init (Ba_ir.Program.n_procs program) (fun p ->
+            Ba_layout.Decision.identity (Ba_ir.Program.proc program p))
+      in
+      let place = Place.improve ~profile program decisions in
+      Alcotest.(check bool) "objective never worse" true
+        (place.Place.after <= place.Place.before);
+      Alcotest.(check int) "nothing to swap" 0 place.Place.swaps;
+      Alcotest.(check int) "image lints clean" 0
+        (errors (Ba_analysis.Check_image.check place.Place.image)))
+    [ lone; with_leaf ]
+
+(* A created-but-never-run profile weighs every site at zero: no move can
+   strictly improve, so the improver must reproduce the input exactly. *)
+let test_place_zero_profile () =
+  let program = (workload "compress").Ba_workloads.Spec.build () in
+  let profile = Ba_cfg.Profile.create program in
+  let decisions =
+    Array.init (Ba_ir.Program.n_procs program) (fun p ->
+        Ba_layout.Decision.identity (Ba_ir.Program.proc program p))
+  in
+  let place = Place.improve ~profile program decisions in
+  Alcotest.(check int) "zero objective in" 0 place.Place.before;
+  Alcotest.(check int) "zero objective out" 0 place.Place.after;
+  Alcotest.(check int) "no swaps" 0 place.Place.swaps;
+  Alcotest.(check int) "no pads" 0 (Array.fold_left ( + ) 0 place.Place.pads);
+  Alcotest.(check int) "image lints clean" 0
+    (errors (Ba_analysis.Check_image.check place.Place.image))
+
+(* Padding landing exactly on a structure boundary: two hot self-loop
+   conditionals in different procedures share the only set their parity
+   allows in a 2-set direct-mapped BTB; no swap can separate them (each
+   branch terminates its procedure's pinned entry block, and reordering
+   the remaining blocks inserts a jump the cost guard rejects), so the
+   improver must shift a whole procedure across the set boundary with
+   inter-procedure padding. *)
+let test_place_pad_boundary () =
+  let open Ba_ir in
+  let hot = Behavior.Loop 9 in
+  let program =
+    Program.make ~name:"collide" ~seed:3
+      [|
+        Proc.make ~name:"main"
+          [|
+            Block.make ~insns:2
+              (Term.Cond { on_true = 0; on_false = 1; behavior = hot });
+            Block.make ~insns:2 (Term.Call { callee = 1; next = 2 });
+            Block.make ~insns:2 Term.Halt;
+          |];
+        Proc.make ~name:"spin"
+          [|
+            (* 3 slots, not 2: lands spin's branch on main's hot set. *)
+            Block.make ~insns:3
+              (Term.Cond { on_true = 0; on_false = 1; behavior = hot });
+            Block.make ~insns:2 Term.Ret;
+          |];
+      |]
+  in
+  let suite = [ Structure.Btb { entries = 2; assoc = 1 } ] in
+  let profile, _ =
+    Ba_trace.Record.profile_and_record ~max_steps:qcheck_steps program
+  in
+  let decisions =
+    Array.init (Ba_ir.Program.n_procs program) (fun p ->
+        Ba_layout.Decision.identity (Ba_ir.Program.proc program p))
+  in
+  let place = Place.improve ~suite ~profile program decisions in
+  Alcotest.(check bool) "the identity layout collides" true
+    (place.Place.before > 0);
+  Alcotest.(check bool) "padding separates the sets" true
+    (place.Place.after < place.Place.before);
+  Alcotest.(check bool) "a pad was placed" true
+    (Array.fold_left ( + ) 0 place.Place.pads > 0);
+  Alcotest.(check int) "no swaps" 0 place.Place.swaps;
+  Alcotest.(check int) "padded image lints clean" 0
+    (errors (Ba_analysis.Check_image.check place.Place.image))
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -654,5 +760,11 @@ let suites =
           test_placement_workloads;
         Alcotest.test_case "placement report row" `Slow test_placement_report;
         QCheck_alcotest.to_alcotest ~long:false test_place_qcheck;
+        Alcotest.test_case "single-block procedures" `Quick
+          test_place_single_block;
+        Alcotest.test_case "zero-weight profile is a no-op" `Quick
+          test_place_zero_profile;
+        Alcotest.test_case "padding crosses a structure boundary" `Quick
+          test_place_pad_boundary;
       ] );
   ]
