@@ -192,14 +192,63 @@ let run_record () =
                        ~profile image))
                 Ba_report.Gap.models)
         in
-        (w.Ba_workloads.Spec.name, interpret_s, replay_s, analyze_s, bound_s, trace))
+        (* Try15 candidate scoring, delta vs full: price the same sampled
+           one-move neighbours of the Try15 layout with the incremental
+           evaluator (one Stream pass amortised, O(affected sites) per
+           candidate) and with a full trace replay per candidate.  Both
+           sides produce identical integers (test_delta.ml's wall); the
+           ratio is the point of the delta subsystem. *)
+        let delta_s, full_s =
+          let base =
+            Ba_core.Align.align_program (Ba_core.Align.Tryn 15)
+              ~arch:Ba_core.Cost_model.Btfnt profile
+          in
+          let moves =
+            List.filteri
+              (fun i _ -> i < 24)
+              (Ba_delta.Move.enumerate
+                 ~cond_counts:(fun p b -> Ba_cfg.Profile.cond_counts profile p b)
+                 program base)
+          in
+          let spec = Ba_delta.Eval.spec_of_model Ba_core.Cost_model.Btfnt in
+          let ev = Ba_delta.Eval.create ~specs:[| spec |] profile trace base in
+          let delta_s =
+            time_run (fun () ->
+                List.iter
+                  (fun mv ->
+                    ignore
+                      (Ba_delta.Eval.cost_arch ev 0 (Ba_delta.Move.apply base mv)
+                        : int))
+                  moves)
+          in
+          let full_s =
+            time_run (fun () ->
+                List.iter
+                  (fun mv ->
+                    let image =
+                      Ba_layout.Image.build ~profile program
+                        (Ba_delta.Move.apply base mv)
+                    in
+                    let arch = Ba_delta.Eval.to_arch spec ~image ~profile in
+                    ignore
+                      (Ba_sim.Runner.simulate ~max_steps:record_steps ~trace
+                         ~archs:[ arch ] image
+                        : Ba_sim.Runner.outcome))
+                  moves)
+          in
+          (delta_s, full_s)
+        in
+        ( w.Ba_workloads.Spec.name, interpret_s, replay_s, analyze_s, bound_s,
+          delta_s, full_s, trace ))
       Ba_workloads.Spec.all
   in
   let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
-  let total_interpret = total (fun (_, i, _, _, _, _) -> i) in
-  let total_replay = total (fun (_, _, r, _, _, _) -> r) in
-  let total_analyze = total (fun (_, _, _, a, _, _) -> a) in
-  let total_bound = total (fun (_, _, _, _, b, _) -> b) in
+  let total_interpret = total (fun (_, i, _, _, _, _, _, _) -> i) in
+  let total_replay = total (fun (_, _, r, _, _, _, _, _) -> r) in
+  let total_analyze = total (fun (_, _, _, a, _, _, _, _) -> a) in
+  let total_bound = total (fun (_, _, _, _, b, _, _, _) -> b) in
+  let total_delta = total (fun (_, _, _, _, _, d, _, _) -> d) in
+  let total_full = total (fun (_, _, _, _, _, _, f, _) -> f) in
   let json =
     Ba_util.Json.Obj
       [
@@ -208,7 +257,10 @@ let run_record () =
         ( "workloads",
           Ba_util.Json.List
             (List.map
-               (fun (name, interpret_s, replay_s, analyze_s, bound_s, trace) ->
+               (fun
+                 ( name, interpret_s, replay_s, analyze_s, bound_s, delta_s,
+                   full_s, trace )
+               ->
                  Ba_util.Json.Obj
                    [
                      ("workload", Ba_util.Json.String name);
@@ -216,7 +268,10 @@ let run_record () =
                      ("replay_s", Ba_util.Json.Float replay_s);
                      ("analyze_s", Ba_util.Json.Float analyze_s);
                      ("bound_s", Ba_util.Json.Float bound_s);
+                     ("delta_s", Ba_util.Json.Float delta_s);
+                     ("full_s", Ba_util.Json.Float full_s);
                      ("speedup", Ba_util.Json.Float (interpret_s /. replay_s));
+                     ("delta_speedup", Ba_util.Json.Float (full_s /. delta_s));
                      ( "trace_bytes",
                        Ba_util.Json.Int (Ba_trace.Trace.byte_size trace) );
                      ("trace_steps", Ba_util.Json.Int trace.Ba_trace.Trace.steps);
@@ -226,7 +281,11 @@ let run_record () =
         ("total_replay_s", Ba_util.Json.Float total_replay);
         ("total_analyze_s", Ba_util.Json.Float total_analyze);
         ("total_bound_s", Ba_util.Json.Float total_bound);
+        ("total_delta_s", Ba_util.Json.Float total_delta);
+        ("total_full_s", Ba_util.Json.Float total_full);
         ("total_speedup", Ba_util.Json.Float (total_interpret /. total_replay));
+        ( "total_delta_speedup",
+          Ba_util.Json.Float (total_full /. total_delta) );
       ]
   in
   let path = next_bench_path () in
@@ -236,19 +295,22 @@ let run_record () =
   close_out oc;
   Printf.printf "== Perf trajectory (interpret vs replay, %d steps) ==\n" record_steps;
   List.iter
-    (fun (name, interpret_s, replay_s, analyze_s, bound_s, trace) ->
+    (fun (name, interpret_s, replay_s, analyze_s, bound_s, delta_s, full_s, trace) ->
       Printf.printf
         "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  bound %6.3fs  \
-         speedup %5.2fx  trace %d B\n"
+         speedup %5.2fx  delta %8.5fs  full %6.3fs  delta-speedup %7.1fx  \
+         trace %d B\n"
         name interpret_s replay_s analyze_s bound_s
         (interpret_s /. replay_s)
+        delta_s full_s (full_s /. delta_s)
         (Ba_trace.Trace.byte_size trace))
     rows;
   Printf.printf
     "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  bound %6.3fs  \
-     speedup %5.2fx\n"
+     speedup %5.2fx  delta %8.5fs  full %6.3fs  delta-speedup %7.1fx\n"
     "TOTAL" total_interpret total_replay total_analyze total_bound
-    (total_interpret /. total_replay);
+    (total_interpret /. total_replay)
+    total_delta total_full (total_full /. total_delta);
   Printf.printf "wrote %s\n" path
 
 let run_tables () =

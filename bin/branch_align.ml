@@ -10,18 +10,35 @@
 
 open Cmdliner
 
+let parse_core_algo = function
+  | "orig" | "original" -> Ok Ba_core.Align.Original
+  | "greedy" | "pettis-hansen" -> Ok Ba_core.Align.Greedy
+  | "cost" -> Ok Ba_core.Align.Cost
+  | s when String.length s > 3 && String.sub s 0 3 = "try" -> (
+    match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+    | Some n when n > 0 -> Ok (Ba_core.Align.Tryn n)
+    | Some _ | None -> Error (`Msg "tryN: N must be a positive integer"))
+  | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+
 let algo_conv =
-  let parse = function
-    | "orig" | "original" -> Ok Ba_core.Align.Original
-    | "greedy" | "pettis-hansen" -> Ok Ba_core.Align.Greedy
-    | "cost" -> Ok Ba_core.Align.Cost
-    | s when String.length s > 3 && String.sub s 0 3 = "try" -> (
-      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-      | Some n when n > 0 -> Ok (Ba_core.Align.Tryn n)
-      | Some _ | None -> Error (`Msg "tryN: N must be a positive integer"))
-    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
-  in
   let print ppf a = Fmt.string ppf (Ba_core.Align.algo_name a) in
+  Arg.conv (parse_core_algo, print)
+
+(* The align command additionally accepts the annealing search, which
+   prices moves through Ba_delta's incremental model and therefore lives
+   outside Ba_core.Align.algo. *)
+type align_algo = Core of Ba_core.Align.algo | Anneal
+
+let align_algo_name = function
+  | Core a -> Ba_core.Align.algo_name a
+  | Anneal -> "anneal"
+
+let align_algo_conv =
+  let parse = function
+    | "anneal" -> Ok Anneal
+    | s -> Result.map (fun a -> Core a) (parse_core_algo s)
+  in
+  let print ppf a = Fmt.string ppf (align_algo_name a) in
   Arg.conv (parse, print)
 
 let arch_conv =
@@ -130,6 +147,79 @@ let run_cmd name algo arch max_steps =
       (Array.to_list aligned.Ba_sim.Runner.sims)
   in
   print_string (Ba_util.Ascii_table.render ~columns ~rows)
+
+(* Align one workload with any algorithm — including the seeded annealing
+   search — and print a deterministic listing: per-procedure block orders,
+   forced jump legs and model cost, the program's total expected cost, and
+   the exact simulated penalty cycles of the result under the cost model's
+   canonical configuration.  Output is byte-identical at any [-j] (the CI
+   gate compares -j1 against -j4): each procedure's walk draws from its own
+   (seed, procedure) PRNG stream, so scheduling cannot perturb it. *)
+let align_cmd name algo arch seed sweeps max_steps jobs =
+  let workload = lookup name in
+  let program, profile, trace =
+    Ba_workloads.Profiled.get_traced ~max_steps workload
+  in
+  let n = Ba_ir.Program.n_procs program in
+  let decisions =
+    match algo with
+    | Core Ba_core.Align.Original ->
+      Array.init n (fun p ->
+          Ba_layout.Decision.identity (Ba_ir.Program.proc program p))
+    | Core a -> Ba_core.Align.align_program a ~arch profile
+    | Anneal ->
+      Ba_par.Pool.with_pool ?jobs (fun pool ->
+          Array.of_list
+            (Ba_par.Pool.map pool
+               (fun pid ->
+                 Ba_delta.Anneal.align_proc ~seed ~sweeps ~arch profile pid)
+               (List.init n Fun.id)))
+  in
+  Printf.printf "workload %s: algorithm %s, cost model %s%s\n"
+    workload.Ba_workloads.Spec.name (align_algo_name algo)
+    (Ba_core.Cost_model.arch_name arch)
+    (match algo with
+    | Anneal -> Printf.sprintf " (seed %d, %d sweeps)" seed sweeps
+    | Core _ -> "");
+  let total = ref 0.0 in
+  for p = 0 to n - 1 do
+    let proc = Ba_ir.Program.proc program p in
+    let d = decisions.(p) in
+    let cost =
+      Ba_delta.Model.total
+        (Ba_delta.Model.create ~arch
+           ~visits:(fun b -> Ba_cfg.Profile.visits profile p b)
+           ~cond_counts:(fun b -> Ba_cfg.Profile.cond_counts profile p b)
+           proc d)
+    in
+    total := !total +. cost;
+    let order =
+      String.concat " "
+        (List.map string_of_int (Array.to_list d.Ba_layout.Decision.order))
+    in
+    let forced =
+      let parts = ref [] in
+      Array.iteri
+        (fun b leg ->
+          match leg with
+          | Some l ->
+            parts :=
+              Printf.sprintf "b%d:%s" b (Ba_layout.Decision.leg_name l)
+              :: !parts
+          | None -> ())
+        d.Ba_layout.Decision.neither;
+      if !parts = [] then ""
+      else "  forced " ^ String.concat " " (List.rev !parts)
+    in
+    Printf.printf "proc %d %s: order %s%s  cost %.1f\n" p proc.Ba_ir.Proc.name
+      order forced cost
+  done;
+  Printf.printf "total expected cost: %.1f\n" !total;
+  let spec = Ba_delta.Eval.spec_of_model arch in
+  let ev = Ba_delta.Eval.create ~specs:[| spec |] profile trace decisions in
+  Printf.printf "simulated penalty cycles (%s): %d\n"
+    (Ba_delta.Eval.spec_label spec)
+    (Ba_delta.Eval.cost_arch ev 0 decisions)
 
 (* Profile, align (unless --algo orig) and simulate one workload, with the
    Ba_obs registry installed around the whole pipeline so every stage's
@@ -545,10 +635,14 @@ let verify_cmd workload algo arch strict no_audit format max_steps jobs =
     Ba_par.Pool.with_pool ?jobs (fun pool ->
         Ba_par.Pool.map pool
           (fun (w : Ba_workloads.Spec.t) ->
+            (* The memoized traced run: the profile feeds the pipeline and
+               the trace lets the auditor quote simulator-exact figures. *)
+            let program, profile, trace =
+              Ba_workloads.Profiled.get_traced ~max_steps w
+            in
             ( w,
-              Ba_verify.Run.verify_pipeline ~arch ~max_steps
-                ~audit:(not no_audit) ~algo ~pool
-                (w.Ba_workloads.Spec.build ()) ))
+              Ba_verify.Run.verify_pipeline ~arch ~max_steps ~profile ~trace
+                ~audit:(not no_audit) ~algo ~pool program ))
           workloads)
   in
   let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
@@ -1086,6 +1180,34 @@ let () =
          ~doc:"Record/replay packed semantic traces (magic BAST1).")
       [ record; replay ]
   in
+  let align =
+    let align_algo_arg =
+      let doc =
+        "Alignment algorithm: orig, greedy, cost, tryN (e.g. try15), or \
+         anneal (the seeded annealing search)."
+      in
+      Arg.(value & opt align_algo_conv Anneal & info [ "algo" ] ~doc)
+    in
+    let seed_arg =
+      let doc = "PRNG seed for the annealing search." in
+      Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+    in
+    let sweeps_arg =
+      let doc = "Annealing sweeps over the move vocabulary, per procedure." in
+      Arg.(
+        value & opt int Ba_delta.Anneal.default_sweeps & info [ "sweeps" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "align"
+         ~doc:
+           "Align one workload and print the resulting layout: block orders, \
+            forced jump legs, expected cost and exact simulated penalty \
+            cycles.  $(b,--algo anneal) runs the seeded annealing search; \
+            output is byte-identical at any $(b,-j).")
+      Term.(
+        const align_cmd $ workload_arg $ align_algo_arg $ arch_arg $ seed_arg
+        $ sweeps_arg $ max_steps_arg $ jobs_arg)
+  in
   let disasm =
     Cmd.v
       (Cmd.info "disasm"
@@ -1213,5 +1335,5 @@ let () =
        (Cmd.group
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
-          [ run; list; dump; hotspots; record; replay; trace_group; disasm; simulate;
-            analyze; bound; lint; verify ]))
+          [ run; list; dump; hotspots; record; replay; trace_group; align;
+            disasm; simulate; analyze; bound; lint; verify ]))

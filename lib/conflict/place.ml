@@ -25,8 +25,15 @@ let proc_branch_cost ~arch ~profile program decision p =
 
 (* One greedy pass of adjacent swaps.  A swap must keep the procedure's own
    exact branch cost from rising (the alignment's win is not negotiable)
-   and must strictly lower the global conflict objective. *)
-let swap_pass ~suite ~arch ~profile program decisions =
+   and must strictly lower the global conflict objective.
+
+   With [delta] (the default) the branch-cost guard is priced by
+   [Ba_delta.Model] — one cached lowering per procedure, each swap
+   re-priced over its three-position window — instead of two full
+   lowerings per candidate.  [Model.total]/[Model.preview] are bit-equal
+   to [proc_branch_cost], so the guard accepts exactly the same swaps
+   either way (the equality gate in [test_delta.ml] pins this). *)
+let swap_pass ?(delta = true) ~suite ~arch ~profile program decisions =
   let n = Program.n_procs program in
   let swaps = ref 0 in
   let current_obj =
@@ -34,17 +41,34 @@ let swap_pass ~suite ~arch ~profile program decisions =
   in
   for p = 0 to n - 1 do
     let len = Proc.n_blocks (Program.proc program p) in
+    let model =
+      if delta && len > 2 then
+        Some
+          (Ba_delta.Model.create ~arch
+             ~visits:(fun b -> Ba_cfg.Profile.visits profile p b)
+             ~cond_counts:(fun b -> Ba_cfg.Profile.cond_counts profile p b)
+             (Program.proc program p) decisions.(p))
+      else None
+    in
     for pos = 1 to len - 2 do
-      let candidate = Decision.swap_positions decisions.(p) pos (pos + 1) in
-      let cost_now = proc_branch_cost ~arch ~profile program decisions.(p) p in
-      let cost_swapped = proc_branch_cost ~arch ~profile program candidate p in
-      if cost_swapped <= cost_now +. 1e-6 then begin
+      let cost_ok =
+        match model with
+        | Some m ->
+          Ba_delta.Model.preview m (Ba_delta.Move.Swap pos)
+          <= Ba_delta.Model.total m +. 1e-6
+        | None ->
+          let candidate = Decision.swap_positions decisions.(p) pos (pos + 1) in
+          proc_branch_cost ~arch ~profile program candidate p
+          <= proc_branch_cost ~arch ~profile program decisions.(p) p +. 1e-6
+      in
+      if cost_ok then begin
         let saved = decisions.(p) in
-        decisions.(p) <- candidate;
+        decisions.(p) <- Decision.swap_positions decisions.(p) pos (pos + 1);
         let obj = objective_of ~suite ~profile (Image.build ~profile program decisions) in
         if obj < !current_obj then begin
           current_obj := obj;
-          incr swaps
+          incr swaps;
+          Option.iter (fun m -> Ba_delta.Model.commit m (Ba_delta.Move.Swap pos)) model
         end
         else decisions.(p) <- saved
       end
@@ -92,7 +116,7 @@ let pad_sweep ~suite ~max_pad ~profile program decisions =
   pads
 
 let improve ?(suite = Structure.placement_suite)
-    ?(arch = Ba_core.Cost_model.Btfnt) ?(max_pad = 32) ~profile program
+    ?(arch = Ba_core.Cost_model.Btfnt) ?(max_pad = 32) ?delta ~profile program
     decisions =
   Ba_obs.Span.with_ "place" @@ fun () ->
   if Array.length decisions <> Program.n_procs program then
@@ -101,7 +125,7 @@ let improve ?(suite = Structure.placement_suite)
   let before =
     objective_of ~suite ~profile (Image.build ~profile program decisions)
   in
-  let _, swaps = swap_pass ~suite ~arch ~profile program decisions in
+  let _, swaps = swap_pass ?delta ~suite ~arch ~profile program decisions in
   let pads = pad_sweep ~suite ~max_pad ~profile program decisions in
   let image = Image.build ~profile ~pads program decisions in
   let after = objective_of ~suite ~profile image in

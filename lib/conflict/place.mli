@@ -31,6 +31,7 @@ val improve :
   ?suite:Structure.t list ->
   ?arch:Ba_core.Cost_model.arch ->
   ?max_pad:int ->
+  ?delta:bool ->
   profile:Ba_cfg.Profile.t ->
   Ba_ir.Program.t ->
   Ba_layout.Decision.t array ->
@@ -40,4 +41,9 @@ val improve :
     [arch] (the swap guard's cost model) to [Btfnt], [max_pad] to 32.
     The result never has a larger objective than the input: every step
     requires strict improvement, and zero pads with zero swaps reproduce
-    the input image. *)
+    the input image.
+
+    [delta] (default [true]) prices the swap guard incrementally with
+    {!Ba_delta.Model} instead of re-lowering the whole procedure per
+    candidate; the accepted swaps — and therefore the result — are
+    bit-identical either way. *)

@@ -10,6 +10,10 @@
     selects that model and defaults to [Btfnt], matching the architecture
     Pettis & Hansen tuned for.
 
+    [delta] (default [true]) selects {!Tryn}'s incremental leaf
+    evaluation; decisions are bit-identical either way, it only changes
+    how search leaves are priced.
+
     [refine_rounds] (default 1) enables iterative refinement: rounds after
     the first re-run the algorithm with taken-branch directions taken from
     the previous round's actual layout instead of DFS guesses.  Only the
@@ -27,6 +31,7 @@ val algo_name : algo -> string
 val align_proc :
   algo ->
   ?strategy:Ba_layout.Chain_order.strategy ->
+  ?delta:bool ->
   ?arch:Cost_model.arch ->
   ?table:Cost_model.table ->
   ?min_weight:int ->
@@ -38,6 +43,7 @@ val align_proc :
 val align_program :
   algo ->
   ?strategy:Ba_layout.Chain_order.strategy ->
+  ?delta:bool ->
   ?arch:Cost_model.arch ->
   ?table:Cost_model.table ->
   ?min_weight:int ->
@@ -48,6 +54,7 @@ val align_program :
 val image :
   algo ->
   ?strategy:Ba_layout.Chain_order.strategy ->
+  ?delta:bool ->
   ?arch:Cost_model.arch ->
   ?table:Cost_model.table ->
   ?min_weight:int ->

@@ -19,6 +19,31 @@ type breakdown = {
   total : float;
 }
 
+type site = {
+  s_straight : float;
+  s_cond : float;
+  s_uncond : float;
+  s_calls : float;
+  s_indirect : float;
+  s_returns : float;
+}
+(** One layout position's contribution, one field per [breakdown]
+    category.  [evaluate] and [per_block] are sums of these, so exposing
+    the per-position view lets incremental evaluators cache sites and
+    re-price only the positions a local move affects, bit-for-bit. *)
+
+val site_cost :
+  arch:Cost_model.arch ->
+  table:Cost_model.table ->
+  visits:(Ba_ir.Term.block_id -> int) ->
+  cond_counts:(Ba_ir.Term.block_id -> int * int) ->
+  Ba_layout.Linear.t ->
+  int ->
+  site
+(** The contribution of one layout position.  Depends only on the block's
+    [src]/[insns]/[term] and the position index (taken-branch direction is
+    positional), never on assigned addresses. *)
+
 val evaluate :
   arch:Cost_model.arch ->
   ?table:Cost_model.table ->

@@ -73,18 +73,56 @@ let distinct_sources group =
     group
 
 (* Search one group: enumerate all feasible Fall/Taken assignments with
-   branch-and-bound, returning the best assignment's links. *)
-let search_group ~arch ~table ctx chain group =
+   branch-and-bound, returning the best assignment's links.
+
+   With [delta] (the default), leaf evaluation is incremental: a source's
+   cost depends only on its own chain successor ([site_cost] and
+   [flow_cost] read nothing else that the search mutates), and the search
+   only relinks edges of this group, so a cached per-source cost goes
+   stale exactly when a link or unlink names that source — dirty it then,
+   reprice only dirty sources at the next leaf.  The evaluation folds the
+   cached values in [sources] order, the same order [leaf_cost] folds, so
+   every leaf total — and therefore every chosen assignment — is
+   bit-identical to the full evaluation. *)
+let search_group ?(delta = true) ~arch ~table ctx chain group =
   let edges = Array.of_list group in
   let n = Array.length edges in
   let sources = distinct_sources group in
+  let src_arr = Array.of_list sources in
+  let n_src = Array.length src_arr in
+  let slot = Hashtbl.create (max 16 (2 * n_src)) in
+  Array.iteri (fun i s -> Hashtbl.replace slot s i) src_arr;
+  let cache = Array.make (max 1 n_src) 0.0 in
+  let cache_valid = Array.make (max 1 n_src) false in
+  let dirty s =
+    match Hashtbl.find_opt slot s with
+    | Some i -> cache_valid.(i) <- false
+    | None -> ()
+  in
+  let leaf () =
+    if not delta then leaf_cost ~arch ~table ctx chain sources
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to n_src - 1 do
+        let s = src_arr.(i) in
+        if not cache_valid.(i) then begin
+          cache.(i) <-
+            (if is_cond ctx s then site_cost ~arch ~table ctx chain s
+             else flow_cost ~arch ~table ctx chain s);
+          cache_valid.(i) <- true
+        end;
+        acc := !acc +. cache.(i)
+      done;
+      !acc
+    end
+  in
   let best_cost = ref infinity in
   let best_links = ref [] in
   let current_links = ref [] in
   let rec go i partial =
     if partial >= !best_cost then ()
     else if i = n then begin
-      let cost = leaf_cost ~arch ~table ctx chain sources in
+      let cost = leaf () in
       if cost < !best_cost then begin
         best_cost := cost;
         best_links := List.rev !current_links
@@ -96,10 +134,12 @@ let search_group ~arch ~table ctx chain group =
          optimistic bound, so it tends to tighten the bound early). *)
       if Chain.can_link chain ~src:e.src ~dst:e.dst then begin
         Chain.link chain ~src:e.src ~dst:e.dst;
+        dirty e.src;
         current_links := (e.src, e.dst) :: !current_links;
         go (i + 1) (partial +. optimistic ~arch ~table ctx edges.(i) Fall);
         current_links := List.tl !current_links;
-        Chain.unlink chain ~src:e.src
+        Chain.unlink chain ~src:e.src;
+        dirty e.src
       end;
       go (i + 1) (partial +. optimistic ~arch ~table ctx edges.(i) Taken)
     end
@@ -127,8 +167,8 @@ let m_link = Ba_obs.Counter.make ~unit_:"edges" "core.align.tryn.link"
 let m_neither = Ba_obs.Counter.make ~unit_:"sites" "core.align.tryn.neither"
 let m_cold_link = Ba_obs.Counter.make ~unit_:"edges" "core.align.tryn.cold_link"
 
-let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weight = 2)
-    (ctx : Ctx.t) =
+let build_chains ?delta ~arch ?(table = Cost_model.default_table) ?(n = 15)
+    ?(min_weight = 2) (ctx : Ctx.t) =
   if n < 1 then invalid_arg "Tryn.build_chains: n must be positive";
   let chain = Ctx.fresh_chain ctx in
   let hot, cold = List.partition (fun (_, w) -> w >= min_weight) ctx.Ctx.edges in
@@ -137,7 +177,7 @@ let build_chains ~arch ?(table = Cost_model.default_table) ?(n = 15) ?(min_weigh
     (fun group ->
       Ba_obs.Histogram.observe m_group_size (List.length group);
       List.iter (fun ((e : Ba_cfg.Edge.t), _) -> Hashtbl.replace processed e ()) group;
-      let links = search_group ~arch ~table ctx chain group in
+      let links = search_group ?delta ~arch ~table ctx chain group in
       List.iter
         (fun (src, dst) ->
           Ba_obs.Counter.incr m_link;

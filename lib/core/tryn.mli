@@ -10,9 +10,18 @@
     committed before moving to the next group, and edges below the weight
     threshold are linked greedily at the end.
 
-    [n] defaults to 15 as in the paper; the ablation benchmark sweeps it. *)
+    [n] defaults to 15 as in the paper; the ablation benchmark sweeps it.
+
+    [delta] (default [true]) evaluates search leaves incrementally: each
+    group source's cost is cached and invalidated only when a link or
+    unlink touches that source, so a leaf costs O(relinked sources)
+    instead of O(group sources).  Leaf totals are folded in the same
+    order either way, so the chosen chains are bit-identical — the
+    equality gate in [test_delta.ml] holds both paths to the same
+    decisions. *)
 
 val build_chains :
+  ?delta:bool ->
   arch:Cost_model.arch ->
   ?table:Cost_model.table ->
   ?n:int ->

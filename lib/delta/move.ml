@@ -1,0 +1,73 @@
+open Ba_layout
+
+type local =
+  | Swap of int
+  | Force of Ba_ir.Term.block_id * Decision.jump_leg option
+
+type t = { proc : Ba_ir.Term.proc_id; m : local }
+
+let swap ~proc pos = { proc; m = Swap pos }
+let force ~proc b leg = { proc; m = Force (b, leg) }
+
+let apply_local (d : Decision.t) = function
+  | Swap i -> Decision.swap_positions d i (i + 1)
+  | Force (b, leg) -> Decision.with_neither d b leg
+
+let apply decisions { proc; m } =
+  let decisions = Array.copy decisions in
+  decisions.(proc) <- apply_local decisions.(proc) m;
+  decisions
+
+let inverse decisions { proc; m } =
+  match m with
+  | Swap i -> { proc; m = Swap i }
+  | Force (b, _) -> { proc; m = Force (b, decisions.(proc).Decision.neither.(b)) }
+
+let pp ppf { proc; m } =
+  match m with
+  | Swap i -> Fmt.pf ppf "p%d:swap(%d,%d)" proc i (i + 1)
+  | Force (b, None) -> Fmt.pf ppf "p%d:elide(b%d)" proc b
+  | Force (b, Some leg) -> Fmt.pf ppf "p%d:force(b%d,%s)" proc b (Decision.leg_name leg)
+
+(* The audit's move vocabulary, one list per procedure: every adjacent
+   swap that keeps the entry pinned, and every per-conditional lowering
+   move (flip / elide for a conditional that carries an inserted jump,
+   force-either-leg for one that does not).  Enumerated against the
+   lowering the decision actually produces, so the move set matches
+   [Ba_verify.Audit]'s exactly. *)
+let enumerate ?cond_counts program (decisions : Decision.t array) =
+  let moves = ref [] in
+  let n_procs = Array.length decisions in
+  for proc = n_procs - 1 downto 0 do
+    let p = Ba_ir.Program.proc program proc in
+    let cond_counts =
+      match cond_counts with
+      | Some f -> Some (fun b -> f proc b)
+      | None -> None
+    in
+    let linear = Lower.lower ?cond_counts p decisions.(proc) in
+    let n = Array.length linear.Linear.blocks in
+    let per_cond = ref [] in
+    Array.iter
+      (fun (lb : Linear.lblock) ->
+        let b = lb.Linear.src in
+        match lb.Linear.term with
+        | Linear.Lcond { taken_on; inserted_jump = Some _; _ } ->
+          let flipped =
+            if taken_on then Decision.Jump_on_true else Decision.Jump_on_false
+          in
+          per_cond :=
+            force ~proc b None :: force ~proc b (Some flipped) :: !per_cond
+        | Linear.Lcond { inserted_jump = None; _ } ->
+          per_cond :=
+            force ~proc b (Some Decision.Jump_on_false)
+            :: force ~proc b (Some Decision.Jump_on_true)
+            :: !per_cond
+        | _ -> ())
+      linear.Linear.blocks;
+    moves := !per_cond @ !moves;
+    for i = n - 2 downto 1 do
+      moves := swap ~proc i :: !moves
+    done
+  done;
+  !moves

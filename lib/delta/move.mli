@@ -1,0 +1,40 @@
+(** Local layout moves.
+
+    The move vocabulary of every local search in the repo, identical to
+    what {!Ba_verify.Audit} prices: an adjacent block swap
+    ({!Ba_layout.Decision.swap_positions} of positions [i] and [i+1]) or a
+    per-conditional lowering change ({!Ba_layout.Decision.with_neither} —
+    jump-leg flip, jump elision, or forcing the neither-edge lowering). *)
+
+type local =
+  | Swap of int  (** swap layout positions [i] and [i+1]; [i >= 1] *)
+  | Force of Ba_ir.Term.block_id * Ba_layout.Decision.jump_leg option
+      (** set the conditional's forced jump leg ([None] = unforced) *)
+
+type t = { proc : Ba_ir.Term.proc_id; m : local }
+
+val swap : proc:Ba_ir.Term.proc_id -> int -> t
+val force :
+  proc:Ba_ir.Term.proc_id ->
+  Ba_ir.Term.block_id ->
+  Ba_layout.Decision.jump_leg option ->
+  t
+
+val apply_local : Ba_layout.Decision.t -> local -> Ba_layout.Decision.t
+
+val apply : Ba_layout.Decision.t array -> t -> Ba_layout.Decision.t array
+(** Copy-on-write: only the moved procedure's decision is replaced. *)
+
+val inverse : Ba_layout.Decision.t array -> t -> t
+(** The move undoing [t], relative to the decisions [t] would be applied
+    to (a swap is self-inverse; a force restores the current leg). *)
+
+val enumerate :
+  ?cond_counts:(Ba_ir.Term.proc_id -> Ba_ir.Term.block_id -> int * int) ->
+  Ba_ir.Program.t ->
+  Ba_layout.Decision.t array ->
+  t list
+(** Every one-move neighbour of the layout, in (procedure, move-class)
+    order — the same neighbourhood {!Ba_verify.Audit.check} walks. *)
+
+val pp : Format.formatter -> t -> unit

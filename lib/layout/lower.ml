@@ -1,64 +1,76 @@
 open Ba_ir
 
-let lower ?(cond_counts = fun _ -> (1, 0)) p (decision : Decision.t) =
+(* Single-position lowering: the terminator the block at layout position
+   [i] gets, given the order / position / neither arrays alone.  [lower]
+   below and the incremental evaluator (Ba_delta.Model) both go through
+   this, so a cached per-position re-lowering cannot drift from the full
+   one. *)
+let term_at ?(cond_counts = fun _ -> (1, 0)) p ~order ~pos ~neither i =
+  let n = Array.length order in
+  let b = order.(i) in
+  let blk = Proc.block p b in
+  let next = if i + 1 < n then Some order.(i + 1) else None in
+  let cont_of d = if next = Some d then Linear.Fall else Linear.Jump_to pos.(d) in
+  match blk.Block.term with
+  | Term.Jump d -> if next = Some d then Linear.Lnone else Linear.Ljump pos.(d)
+  | Term.Cond { on_true; on_false; _ } ->
+    let forced = neither.(b) in
+    if forced = None && next = Some on_true then
+      Linear.Lcond { taken_pos = pos.(on_false); taken_on = false; inserted_jump = None }
+    else if forced = None && next = Some on_false then
+      Linear.Lcond { taken_pos = pos.(on_true); taken_on = true; inserted_jump = None }
+    else begin
+      (* Neither target is (usable as) adjacent: one leg is taken, the
+         other goes through an inserted unconditional jump.  A forced
+         decision names the jump leg; unforced (compiler-natural)
+         encoding branches to [on_true] and jumps to [on_false]. *)
+      let jump_on_true =
+        match forced with
+        | Some Decision.Jump_on_true -> true
+        | Some Decision.Jump_on_false | None -> false
+        | Some Decision.Jump_heavier ->
+          let w_true, w_false = cond_counts b in
+          w_true >= w_false
+      in
+      if jump_on_true then
+        Linear.Lcond
+          { taken_pos = pos.(on_false); taken_on = false;
+            inserted_jump = Some pos.(on_true) }
+      else
+        Linear.Lcond
+          { taken_pos = pos.(on_true); taken_on = true;
+            inserted_jump = Some pos.(on_false) }
+    end
+  | Term.Switch { targets } ->
+    Linear.Lswitch
+      {
+        positions = Array.map (fun (d, _) -> pos.(d)) targets;
+        weights = Array.map snd targets;
+      }
+  | Term.Call { callee; next = d } -> Linear.Lcall { callee; cont = cont_of d }
+  | Term.Vcall { callees; next = d } ->
+    Linear.Lvcall
+      {
+        callees = Array.map fst callees;
+        weights = Array.map snd callees;
+        cont = cont_of d;
+      }
+  | Term.Ret -> Linear.Lret
+  | Term.Halt -> Linear.Lhalt
+
+let lower ?cond_counts p (decision : Decision.t) =
   (match Decision.validate p decision with
   | Error e -> invalid_arg ("Lower.lower: " ^ e)
   | Ok () -> ());
   let pos = Decision.position decision in
-  let n = Array.length decision.order in
-  let lower_block i b =
-    let blk = Proc.block p b in
-    let next = if i + 1 < n then Some decision.order.(i + 1) else None in
-    let cont_of d = if next = Some d then Linear.Fall else Linear.Jump_to pos.(d) in
-    let term =
-      match blk.Block.term with
-      | Term.Jump d -> if next = Some d then Linear.Lnone else Linear.Ljump pos.(d)
-      | Term.Cond { on_true; on_false; _ } ->
-        let forced = decision.neither.(b) in
-        if forced = None && next = Some on_true then
-          Linear.Lcond { taken_pos = pos.(on_false); taken_on = false; inserted_jump = None }
-        else if forced = None && next = Some on_false then
-          Linear.Lcond { taken_pos = pos.(on_true); taken_on = true; inserted_jump = None }
-        else begin
-          (* Neither target is (usable as) adjacent: one leg is taken, the
-             other goes through an inserted unconditional jump.  A forced
-             decision names the jump leg; unforced (compiler-natural)
-             encoding branches to [on_true] and jumps to [on_false]. *)
-          let jump_on_true =
-            match forced with
-            | Some Decision.Jump_on_true -> true
-            | Some Decision.Jump_on_false | None -> false
-            | Some Decision.Jump_heavier ->
-              let w_true, w_false = cond_counts b in
-              w_true >= w_false
-          in
-          if jump_on_true then
-            Linear.Lcond
-              { taken_pos = pos.(on_false); taken_on = false;
-                inserted_jump = Some pos.(on_true) }
-          else
-            Linear.Lcond
-              { taken_pos = pos.(on_true); taken_on = true;
-                inserted_jump = Some pos.(on_false) }
-        end
-      | Term.Switch { targets } ->
-        Linear.Lswitch
-          {
-            positions = Array.map (fun (d, _) -> pos.(d)) targets;
-            weights = Array.map snd targets;
-          }
-      | Term.Call { callee; next = d } -> Linear.Lcall { callee; cont = cont_of d }
-      | Term.Vcall { callees; next = d } ->
-        Linear.Lvcall
-          {
-            callees = Array.map fst callees;
-            weights = Array.map snd callees;
-            cont = cont_of d;
-          }
-      | Term.Ret -> Linear.Lret
-      | Term.Halt -> Linear.Lhalt
-    in
-    { Linear.src = b; insns = blk.Block.insns; term; addr = 0 }
+  let order = decision.order in
+  let neither = decision.neither in
+  let blocks =
+    Array.mapi
+      (fun i b ->
+        let blk = Proc.block p b in
+        let term = term_at ?cond_counts p ~order ~pos ~neither i in
+        { Linear.src = b; insns = blk.Block.insns; term; addr = 0 })
+      order
   in
-  let blocks = Array.mapi (fun i b -> lower_block i b) decision.order in
   { Linear.proc = p; decision; blocks }

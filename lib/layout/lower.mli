@@ -26,3 +26,17 @@ val lower :
     consulted only for a forced [Jump_heavier] choice; it defaults to
     treating the [on_true] leg as heavier.  Raises [Invalid_argument] on an
     invalid decision. *)
+
+val term_at :
+  ?cond_counts:(Ba_ir.Term.block_id -> int * int) ->
+  Ba_ir.Proc.t ->
+  order:Ba_ir.Term.block_id array ->
+  pos:int array ->
+  neither:Decision.jump_leg option array ->
+  int ->
+  Linear.lterm
+(** [term_at proc ~order ~pos ~neither i] is the terminator [lower] would
+    give the block at layout position [i] under the decision the three
+    arrays describe ([pos] must be the inverse permutation of [order]).
+    This is the single-position slice of [lower]; incremental evaluators
+    use it to re-lower only the positions a local move can affect. *)

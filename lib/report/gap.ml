@@ -6,6 +6,7 @@ type cell = {
   greedy : int;
   cost : int;
   tryn : int;
+  anneal : int;
   optimal : int;
   opt_lower : int;
   candidates : int;
@@ -19,7 +20,8 @@ let models =
   [ Cost_model.Fallthrough; Cost_model.Btfnt; Cost_model.Likely;
     Cost_model.Pht; Cost_model.Btb ]
 
-let evaluate ?max_steps ?(k = 4) ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
+let evaluate ?max_steps ?(k = 4) ?(tryn = 15) ?(delta = true)
+    (workload : Ba_workloads.Spec.t) =
   let max_steps =
     match max_steps with
     | Some s -> s
@@ -31,11 +33,31 @@ let evaluate ?max_steps ?(k = 4) ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
   let cells =
     List.map
       (fun model ->
-        let bep decisions =
-          let image = Ba_layout.Image.build ~profile program decisions in
-          let arch = Ba_bound.Analyze.arch_of_model model ~profile image in
-          let outcome = Runner.simulate ~max_steps ~trace ~archs:[ arch ] image in
-          Bep.bep (snd outcome.Runner.sims.(0))
+        let layout algo = Align.align_program algo ~arch:model profile in
+        let base = layout (Align.Tryn tryn) in
+        (* With [delta] (the default) candidates are priced by the
+           incremental evaluator — exactly the integer [Bep.bep] a full
+           replay reports, which the differential wall enforces — so the
+           search costs O(affected sites) per candidate instead of a full
+           trace replay.  [delta:false] keeps the historical
+           replay-everything oracle; the tables are identical. *)
+        let bep =
+          if delta then begin
+            let ev =
+              Ba_delta.Eval.create
+                ~specs:[| Ba_delta.Eval.spec_of_model model |]
+                profile trace base
+            in
+            fun decisions -> Ba_delta.Eval.cost_arch ev 0 decisions
+          end
+          else
+            fun decisions ->
+              let image = Ba_layout.Image.build ~profile program decisions in
+              let arch = Ba_bound.Analyze.arch_of_model model ~profile image in
+              let outcome =
+                Runner.simulate ~max_steps ~trace ~archs:[ arch ] image
+              in
+              Bep.bep (snd outcome.Runner.sims.(0))
         in
         let bounds decisions =
           let image = Ba_layout.Image.build ~profile program decisions in
@@ -43,11 +65,10 @@ let evaluate ?max_steps ?(k = 4) ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
           let i = Ba_bound.Analyze.bounds ~arch ~profile image in
           (i.Ba_bound.Domain.lo, i.Ba_bound.Domain.hi)
         in
-        let layout algo = Align.align_program algo ~arch:model profile in
         let greedy = bep (layout Align.Greedy) in
         let cost = bep (layout Align.Cost) in
-        let base = layout (Align.Tryn tryn) in
         let tryn_bep = bep base in
+        let anneal = bep (Ba_delta.Anneal.align_program ~arch:model profile) in
         (* Optimal-k explores reorderings of the strongest algorithm's
            layout, so its winner prices what bounded search leaves on the
            table for every algorithm. *)
@@ -57,6 +78,7 @@ let evaluate ?max_steps ?(k = 4) ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
           greedy;
           cost;
           tryn = tryn_bep;
+          anneal;
           optimal = r.Optimal.best_cost;
           opt_lower = r.Optimal.best_lower;
           candidates = r.Optimal.candidates;
@@ -67,9 +89,9 @@ let evaluate ?max_steps ?(k = 4) ?(tryn = 15) (workload : Ba_workloads.Spec.t) =
   in
   { workload; cells }
 
-let evaluate_suite ?max_steps ?k ?tryn ?jobs workloads =
+let evaluate_suite ?max_steps ?k ?tryn ?delta ?jobs workloads =
   Ba_par.Pool.with_pool ?jobs (fun pool ->
-      Ba_par.Pool.map pool (evaluate ?max_steps ?k ?tryn) workloads)
+      Ba_par.Pool.map pool (evaluate ?max_steps ?k ?tryn ?delta) workloads)
 
 let render rows =
   let open Ba_util.Ascii_table in
@@ -80,11 +102,13 @@ let render rows =
       column "greedy";
       column "cost";
       column "try15";
+      column "anneal";
       column "opt-k";
       column "opt-lb";
       column "gap(greedy)";
       column "gap(cost)";
       column "gap(try15)";
+      column "gap(anneal)";
       column "sim/cand";
     ]
   in
@@ -99,11 +123,13 @@ let render rows =
               string_of_int c.greedy;
               string_of_int c.cost;
               string_of_int c.tryn;
+              string_of_int c.anneal;
               string_of_int c.optimal;
               string_of_int c.opt_lower;
               string_of_int (c.greedy - c.optimal);
               string_of_int (c.cost - c.optimal);
               string_of_int (c.tryn - c.optimal);
+              string_of_int (c.anneal - c.optimal);
               Printf.sprintf "%d/%d" c.simulated c.candidates;
             ])
           r.cells)
@@ -129,11 +155,13 @@ let to_json rows =
                        ("greedy", Int c.greedy);
                        ("cost", Int c.cost);
                        ("try15", Int c.tryn);
+                       ("anneal", Int c.anneal);
                        ("optimal", Int c.optimal);
                        ("optimal_lower", Int c.opt_lower);
                        ("gap_greedy", Int (c.greedy - c.optimal));
                        ("gap_cost", Int (c.cost - c.optimal));
                        ("gap_try15", Int (c.tryn - c.optimal));
+                       ("gap_anneal", Int (c.anneal - c.optimal));
                        ("candidates", Int c.candidates);
                        ("simulated", Int c.simulated);
                        ("pruned", Int c.pruned);

@@ -10,13 +10,19 @@
     is itself a candidate.
 
     Every simulation replays the workload's recorded trace, so the table
-    is deterministic at any [-j]. *)
+    is deterministic at any [-j].  [delta] (default [true]) prices
+    candidates with {!Ba_delta.Eval} — bit-equal to the full replay, in
+    O(affected sites) per candidate — instead of replaying the whole trace
+    per candidate; [delta:false] keeps the historical oracle and produces
+    the identical table.  The [anneal] column is the seeded
+    simulated-annealing search ({!Ba_delta.Anneal}, seed 0). *)
 
 type cell = {
   model : Ba_core.Cost_model.arch;
   greedy : int;  (** penalty cycles, Greedy layout *)
   cost : int;
   tryn : int;
+  anneal : int;  (** penalty cycles, simulated-annealing layout (seed 0) *)
   optimal : int;  (** Optimal-k best exactly-priced cost *)
   opt_lower : int;  (** that winner's own static lower bound *)
   candidates : int;
@@ -30,12 +36,18 @@ val models : Ba_core.Cost_model.arch list
 (** The five cost-model architectures, in harness column order. *)
 
 val evaluate :
-  ?max_steps:int -> ?k:int -> ?tryn:int -> Ba_workloads.Spec.t -> row
+  ?max_steps:int ->
+  ?k:int ->
+  ?tryn:int ->
+  ?delta:bool ->
+  Ba_workloads.Spec.t ->
+  row
 
 val evaluate_suite :
   ?max_steps:int ->
   ?k:int ->
   ?tryn:int ->
+  ?delta:bool ->
   ?jobs:int ->
   Ba_workloads.Spec.t list ->
   row list

@@ -18,6 +18,7 @@ type eval = {
   orig : arch_cpis;
   greedy : arch_cpis;
   try15 : arch_cpis;
+  anneal : arch_cpis;
   pct_ft_orig : float;
   pct_ft_greedy : float;
   pct_ft_try15_ft : float;
@@ -131,6 +132,32 @@ let evaluate ?max_steps ?(tryn = 15) ?(replay = true) (workload : Ba_workloads.S
       btb256 = cpi t15_btb ~orig_insns 1;
     }
   in
+  (* One annealed alignment per architectural cost model, mirroring the
+     Try15 structure.  Seed 0 and a fixed schedule: the column is
+     byte-identical across runs and at any [-j]. *)
+  let anneal_image arch = Ba_delta.Anneal.image ~arch profile in
+  let an_ft = run_image ~archs:[ `Arch Bep.Static_fallthrough ] (anneal_image Cost_model.Fallthrough) in
+  let an_btfnt = run_image ~archs:[ `Arch Bep.Static_btfnt ] (anneal_image Cost_model.Btfnt) in
+  let an_likely = run_image ~archs:[ `Likely ] (anneal_image Cost_model.Likely) in
+  let an_pht =
+    run_image ~archs:[ `Arch pht_direct_arch; `Arch gshare_arch ]
+      (anneal_image Cost_model.Pht)
+  in
+  let an_btb =
+    run_image ~archs:[ `Arch btb64_arch; `Arch btb256_arch ]
+      (anneal_image Cost_model.Btb)
+  in
+  let anneal =
+    {
+      fallthrough = cpi an_ft ~orig_insns 0;
+      btfnt = cpi an_btfnt ~orig_insns 0;
+      likely = cpi an_likely ~orig_insns 0;
+      pht_direct = cpi an_pht ~orig_insns 0;
+      gshare = cpi an_pht ~orig_insns 1;
+      btb64 = cpi an_btb ~orig_insns 0;
+      btb256 = cpi an_btb ~orig_insns 1;
+    }
+  in
   let alpha =
     if List.mem workload.Ba_workloads.Spec.name Ba_workloads.Spec.spec_c_programs then begin
       (* Numeric programs carry a high floating-point share, which pairs
@@ -161,6 +188,7 @@ let evaluate ?max_steps ?(tryn = 15) ?(replay = true) (workload : Ba_workloads.S
       { (cpis_of_full greedy_out ~orig_insns) with
         btfnt = cpi greedy_btfnt_out ~orig_insns 0 };
     try15;
+    anneal;
     pct_ft_orig = Ba_exec.Trace_stats.pct_cond_fallthrough orig_out.Runner.stats;
     pct_ft_greedy = Ba_exec.Trace_stats.pct_cond_fallthrough greedy_out.Runner.stats;
     pct_ft_try15_ft = Ba_exec.Trace_stats.pct_cond_fallthrough t15_ft.Runner.stats;

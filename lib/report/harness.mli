@@ -40,6 +40,10 @@ type eval = {
   try15 : arch_cpis;
       (** Table 3/4 "Try15" columns; each architecture's figure comes from
           the image aligned with that architecture's cost model *)
+  anneal : arch_cpis;
+      (** Table 3/4 "Anneal" columns: the seeded simulated-annealing
+          search ({!Ba_delta.Anneal}, seed 0), aligned per cost model
+          like Try15 *)
   pct_ft_orig : float;  (** fall-through conditional percentage, original *)
   pct_ft_greedy : float;
   pct_ft_try15_ft : float;  (** after Try15 under the FALLTHROUGH model *)

@@ -81,9 +81,9 @@ let table3 evals =
     [
       lcol "Program";
       (* relative CPI *)
-      col "FT:Orig"; col "FT:Greedy"; col "FT:Try15";
-      col "BTFNT:Orig"; col "BTFNT:Greedy"; col "BTFNT:Try15";
-      col "LIKELY:Orig"; col "LIKELY:Greedy"; col "LIKELY:Try15";
+      col "FT:Orig"; col "FT:Greedy"; col "FT:Try15"; col "FT:Anneal";
+      col "BTFNT:Orig"; col "BTFNT:Greedy"; col "BTFNT:Try15"; col "BTFNT:Anneal";
+      col "LIKELY:Orig"; col "LIKELY:Greedy"; col "LIKELY:Try15"; col "LIKELY:Anneal";
       (* % fall-through conditionals *)
       col "%FT:Orig"; col "%FT:Greedy"; col "%FT:T15@FT"; col "%FT:T15@BTFNT";
       col "%FT:T15@LIKELY";
@@ -95,12 +95,15 @@ let table3 evals =
       fc e.Harness.orig.Harness.fallthrough;
       fc e.Harness.greedy.Harness.fallthrough;
       fc e.Harness.try15.Harness.fallthrough;
+      fc e.Harness.anneal.Harness.fallthrough;
       fc e.Harness.orig.Harness.btfnt;
       fc e.Harness.greedy.Harness.btfnt;
       fc e.Harness.try15.Harness.btfnt;
+      fc e.Harness.anneal.Harness.btfnt;
       fc e.Harness.orig.Harness.likely;
       fc e.Harness.greedy.Harness.likely;
       fc e.Harness.try15.Harness.likely;
+      fc e.Harness.anneal.Harness.likely;
       fc ~decimals:1 e.Harness.pct_ft_orig;
       fc ~decimals:1 e.Harness.pct_ft_greedy;
       fc ~decimals:1 e.Harness.pct_ft_try15_ft;
@@ -116,12 +119,15 @@ let table3 evals =
       m (fun e -> e.Harness.orig.Harness.fallthrough);
       m (fun e -> e.Harness.greedy.Harness.fallthrough);
       m (fun e -> e.Harness.try15.Harness.fallthrough);
+      m (fun e -> e.Harness.anneal.Harness.fallthrough);
       m (fun e -> e.Harness.orig.Harness.btfnt);
       m (fun e -> e.Harness.greedy.Harness.btfnt);
       m (fun e -> e.Harness.try15.Harness.btfnt);
+      m (fun e -> e.Harness.anneal.Harness.btfnt);
       m (fun e -> e.Harness.orig.Harness.likely);
       m (fun e -> e.Harness.greedy.Harness.likely);
       m (fun e -> e.Harness.try15.Harness.likely);
+      m (fun e -> e.Harness.anneal.Harness.likely);
       mp (fun e -> e.Harness.pct_ft_orig);
       mp (fun e -> e.Harness.pct_ft_greedy);
       mp (fun e -> e.Harness.pct_ft_try15_ft);
@@ -137,14 +143,17 @@ let table4 evals =
   let columns =
     [
       lcol "Program";
-      col "PHT:Orig"; col "PHT:Greedy"; col "PHT:Try15";
-      col "gshare:Orig"; col "gshare:Greedy"; col "gshare:Try15";
-      col "BTB64:Orig"; col "BTB64:Greedy"; col "BTB64:Try15";
-      col "BTB256:Orig"; col "BTB256:Greedy"; col "BTB256:Try15";
+      col "PHT:Orig"; col "PHT:Greedy"; col "PHT:Try15"; col "PHT:Anneal";
+      col "gshare:Orig"; col "gshare:Greedy"; col "gshare:Try15"; col "gshare:Anneal";
+      col "BTB64:Orig"; col "BTB64:Greedy"; col "BTB64:Try15"; col "BTB64:Anneal";
+      col "BTB256:Orig"; col "BTB256:Greedy"; col "BTB256:Try15"; col "BTB256:Anneal";
     ]
   in
   let cells (e : Harness.eval) f =
-    [ fc (f e.Harness.orig); fc (f e.Harness.greedy); fc (f e.Harness.try15) ]
+    [
+      fc (f e.Harness.orig); fc (f e.Harness.greedy); fc (f e.Harness.try15);
+      fc (f e.Harness.anneal);
+    ]
   in
   let row (e : Harness.eval) =
     (e.Harness.workload.Ba_workloads.Spec.name :: cells e (fun c -> c.Harness.pht_direct))
@@ -159,6 +168,7 @@ let table4 evals =
         m (fun e -> e.Harness.orig) f;
         m (fun e -> e.Harness.greedy) f;
         m (fun e -> e.Harness.try15) f;
+        m (fun e -> e.Harness.anneal) f;
       ]
     in
     ((label ^ " Avg") :: trio (fun c -> c.Harness.pht_direct))

@@ -18,11 +18,21 @@
       paper's §4 loop transformation).
 
     Every finding quantifies its saving in expected cycles; each variant
-    is re-lowered and priced with {!Ba_core.Layout_cost}, so the deltas are
-    achievable, not estimates. *)
+    is priced with {!Ba_delta.Model}, bit-equal to re-lowering and pricing
+    it with {!Ba_core.Layout_cost}, so the deltas are achievable, not
+    estimates.  When a simulation oracle [sim] is given (decision ->
+    penalty cycles of the whole-program layout with this procedure's
+    decision replaced — see {!Ba_delta.Eval}), each finding also reports
+    the simulator-exact cycle change of its move. *)
+
+val canonical_decision : Ba_layout.Linear.t -> Ba_layout.Decision.t
+(** The decision whose lowering reproduces the given linear code: the
+    source permutation, with every inserted-jump conditional pinned to its
+    current jump leg. *)
 
 val check :
   ?eps:float ->
+  ?sim:(Ba_layout.Decision.t -> int) ->
   arch:Ba_core.Cost_model.arch ->
   ?table:Ba_core.Cost_model.table ->
   visits:(Ba_ir.Term.block_id -> int) ->

@@ -18,8 +18,8 @@ let error_count t =
   e
 
 let verify_image ?pool ?(cert_arches = Ba_core.Cost_model.all_arches)
-    ?(audit_arch = Ba_core.Cost_model.Btfnt) ?(audit = true) ~workload ~algo
-    ~profile (image : Ba_layout.Image.t) =
+    ?(audit_arch = Ba_core.Cost_model.Btfnt) ?(audit = true) ?trace ~workload
+    ~algo ~profile (image : Ba_layout.Image.t) =
   Ba_obs.Span.with_ "verify" @@ fun () ->
   let program = image.Ba_layout.Image.program in
   let n = Ba_ir.Program.n_procs program in
@@ -75,12 +75,35 @@ let verify_image ?pool ?(cert_arches = Ba_core.Cost_model.all_arches)
     let cert_diags = ref (List.concat_map snd arch_results) in
     let audit_diags =
       if not audit then []
-      else
+      else begin
+        (* With a recorded trace, audit findings also carry simulator-exact
+           figures: one Ba_delta.Eval prices, for any candidate decision of
+           one procedure, the exact replay penalty of the whole layout. *)
+        let sim_for =
+          match trace with
+          | None -> fun _ -> None
+          | Some trace ->
+            let base =
+              Array.map Audit.canonical_decision image.Ba_layout.Image.linears
+            in
+            let ev =
+              Ba_delta.Eval.create
+                ~specs:[| Ba_delta.Eval.spec_of_model audit_arch |]
+                profile trace base
+            in
+            fun pid ->
+              Some
+                (fun decision ->
+                  let ds = Array.copy base in
+                  ds.(pid) <- decision;
+                  Ba_delta.Eval.cost_arch ev 0 ds)
+        in
         List.concat
           (List.init n (fun pid ->
-               Audit.check ~arch:audit_arch ~visits:(visits pid)
-                 ~cond_counts:(cond_counts pid) ~proc_id:pid
-                 image.Ba_layout.Image.linears.(pid)))
+               Audit.check ?sim:(sim_for pid) ~arch:audit_arch
+                 ~visits:(visits pid) ~cond_counts:(cond_counts pid)
+                 ~proc_id:pid image.Ba_layout.Image.linears.(pid)))
+      end
     in
     ([], certificates, Diagnostic.sort !cert_diags, Diagnostic.sort audit_diags)
   end
@@ -88,7 +111,7 @@ let verify_image ?pool ?(cert_arches = Ba_core.Cost_model.all_arches)
 let has_errors diags = List.exists Diagnostic.is_error diags
 
 let verify_pipeline ?pool ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches
-    ?max_steps ?profile ?audit ~algo (program : Ba_ir.Program.t) =
+    ?max_steps ?profile ?trace ?audit ~algo (program : Ba_ir.Program.t) =
   let unverified lint =
     { lint; bisim = []; certificates = []; cert_diags = []; audit = [];
       verified = false }
@@ -119,7 +142,7 @@ let verify_pipeline ?pool ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches
     else begin
       let image = Ba_layout.Image.build ~profile program decisions in
       let bisim, certificates, cert_diags, audit =
-        verify_image ?pool ?cert_arches ~audit_arch:arch ?audit
+        verify_image ?pool ?cert_arches ~audit_arch:arch ?trace ?audit
           ~workload:program.Ba_ir.Program.name
           ~algo:(Ba_core.Align.algo_name algo) ~profile image
       in

@@ -33,6 +33,7 @@ val verify_image :
   ?cert_arches:Ba_core.Cost_model.arch list ->
   ?audit_arch:Ba_core.Cost_model.arch ->
   ?audit:bool ->
+  ?trace:Ba_trace.Trace.t ->
   workload:string ->
   algo:string ->
   profile:Ba_cfg.Profile.t ->
@@ -46,7 +47,9 @@ val verify_image :
     done elsewhere.  [cert_arches] defaults to every architecture,
     [audit_arch] to BT/FNT.  [pool] certifies the architectures in
     parallel; certificates keep [cert_arches] order (and therefore their
-    digests) either way. *)
+    digests) either way.  [trace] (a semantic trace recorded for this
+    profile's run) upgrades audit findings with simulator-exact cycle
+    figures via {!Ba_delta.Eval}. *)
 
 val verify_pipeline :
   ?pool:Ba_par.Pool.t ->
@@ -54,6 +57,7 @@ val verify_pipeline :
   ?cert_arches:Ba_core.Cost_model.arch list ->
   ?max_steps:int ->
   ?profile:Ba_cfg.Profile.t ->
+  ?trace:Ba_trace.Trace.t ->
   ?audit:bool ->
   algo:Ba_core.Align.algo ->
   Ba_ir.Program.t ->

@@ -231,6 +231,18 @@ let bound_report () =
     Ba_bound.Lint.check ~algo:(Ba_core.Align.Tryn 15)
       ~arch:Ba_core.Cost_model.Btfnt ~profile t15
   in
+  (* The optimality audit of wave5's Greedy/FALLTHROUGH layout, with the
+     recorded trace handed through so the finding quotes the exact
+     simulated saving (Ba_delta.Eval) next to the model's expected one —
+     any drift in either pricing path is a visible diff here. *)
+  let audit_findings =
+    let _, _, trace = Ba_workloads.Profiled.get_traced ~max_steps spec in
+    let result =
+      Ba_verify.Run.verify_pipeline ~arch:Ba_core.Cost_model.Fallthrough
+        ~max_steps ~profile ~trace ~algo:Ba_core.Align.Greedy program
+    in
+    result.Ba_verify.Run.audit
+  in
   String.concat "\n"
     ([
        "== wave5, Try15/BT-FNT: static cost bounds ==";
@@ -241,7 +253,11 @@ let bound_report () =
      ]
     @ List.map
         (fun d -> Format.asprintf "%a" Ba_analysis.Diagnostic.pp d)
-        diags)
+        diags
+    @ [ "== wave5, Greedy/FALLTHROUGH: optimality audit (simulator-exact) ==" ]
+    @ List.map
+        (fun d -> Format.asprintf "%a" Ba_analysis.Diagnostic.pp d)
+        audit_findings)
   ^ "\n"
 
 let () =

@@ -1,0 +1,70 @@
+(* Shared scaffolding for the whole-suite test walls.
+
+   Every wall (bound soundness, conflict agreement, delta differential)
+   sweeps the same space — the 24 built-in workloads, the four paper
+   algorithm families each under the cost model its study uses, and the
+   harness's seven simulated architectures — at the standard 20k-step
+   test budget.  The sweep lives here once; the walls keep only their
+   per-cell assertions. *)
+
+let wall_steps = 20_000
+
+let workload name =
+  match Ba_workloads.Spec.by_name name with
+  | Some w -> w
+  | None -> Alcotest.failf "unknown workload %s" name
+
+(* The harness's seven simulated architectures, likely bits built from the
+   image under test as the harness does. *)
+let archs_for image profile =
+  [
+    Ba_sim.Bep.Static_fallthrough;
+    Ba_sim.Bep.Static_btfnt;
+    Ba_sim.Bep.Static_likely (Ba_predict.Likely_bits.build image profile);
+    Ba_sim.Bep.Pht_direct { entries = 4096 };
+    Ba_sim.Bep.Pht_gshare { entries = 4096; history_bits = 12 };
+    Ba_sim.Bep.Btb_arch { entries = 64; assoc = 2 };
+    Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
+  ]
+
+(* One algorithm per paper family, each paired with the cost model its
+   study runs under. *)
+let wall_cells =
+  [
+    (Ba_core.Align.Original, Ba_core.Cost_model.Btfnt);
+    (Ba_core.Align.Greedy, Ba_core.Cost_model.Btfnt);
+    (Ba_core.Align.Cost, Ba_core.Cost_model.Pht);
+    (Ba_core.Align.Tryn 15, Ba_core.Cost_model.Btb);
+  ]
+
+let decisions_for ~profile program algo ~arch =
+  match algo with
+  | Ba_core.Align.Original ->
+    Array.init (Ba_ir.Program.n_procs program) (fun p ->
+        Ba_layout.Decision.identity (Ba_ir.Program.proc program p))
+  | _ -> Ba_core.Align.align_program algo ~arch profile
+
+let image_for ~profile program algo ~arch =
+  match algo with
+  | Ba_core.Align.Original -> Ba_layout.Image.original ~profile program
+  | _ -> Ba_core.Align.image algo ~arch profile
+
+(* Every built-in workload's memoized traced run. *)
+let iter_traced ?(max_steps = wall_steps) f =
+  List.iter
+    (fun (w : Ba_workloads.Spec.t) ->
+      let program, profile, trace =
+        Ba_workloads.Profiled.get_traced ~max_steps w
+      in
+      f w program profile trace)
+    Ba_workloads.Spec.all
+
+(* The full workload x algorithm wall: [f] gets each cell's aligned
+   image alongside the traced run it came from. *)
+let iter_wall ?max_steps ?(cells = wall_cells) f =
+  iter_traced ?max_steps (fun w program profile trace ->
+      List.iter
+        (fun (algo, arch) ->
+          f ~w ~algo ~arch ~program ~profile ~trace
+            (image_for ~profile program algo ~arch))
+        cells)

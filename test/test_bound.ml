@@ -13,26 +13,10 @@
 
 open Ba_sim
 
-let wall_steps = 20_000
+let wall_steps = Matrix.wall_steps
 let qcheck_steps = 2_000
-
-let workload name =
-  match Ba_workloads.Spec.by_name name with
-  | Some w -> w
-  | None -> Alcotest.failf "unknown workload %s" name
-
-(* The harness's seven simulated architectures, likely bits built from the
-   image under test as the harness does. *)
-let archs_for image profile =
-  [
-    Bep.Static_fallthrough;
-    Bep.Static_btfnt;
-    Bep.Static_likely (Ba_predict.Likely_bits.build image profile);
-    Bep.Pht_direct { entries = 4096 };
-    Bep.Pht_gshare { entries = 4096; history_bits = 12 };
-    Bep.Btb_arch { entries = 64; assoc = 2 };
-    Bep.Btb_arch { entries = 256; assoc = 4 };
-  ]
+let workload = Matrix.workload
+let archs_for = Matrix.archs_for
 
 let check_brackets ~what ~arch ~iv bep =
   if not (iv.Ba_bound.Domain.lo <= bep && bep <= iv.Ba_bound.Domain.hi) then
@@ -110,40 +94,19 @@ let test_counter_serves () =
 (* ------------------------------------------------------------------ *)
 (* The soundness wall: 24 workloads x 4 algorithms x 7 architectures. *)
 
-let wall_cells =
-  [
-    (Ba_core.Align.Original, Ba_core.Cost_model.Btfnt);
-    (Ba_core.Align.Greedy, Ba_core.Cost_model.Btfnt);
-    (Ba_core.Align.Cost, Ba_core.Cost_model.Pht);
-    (Ba_core.Align.Tryn 15, Ba_core.Cost_model.Btb);
-  ]
-
 let test_soundness_wall () =
-  List.iter
-    (fun (w : Ba_workloads.Spec.t) ->
-      let program, profile, trace =
-        Ba_workloads.Profiled.get_traced ~max_steps:wall_steps w
-      in
-      List.iter
-        (fun (algo, cost_arch) ->
-          let image =
-            match algo with
-            | Ba_core.Align.Original -> Ba_layout.Image.original ~profile program
-            | _ -> Ba_core.Align.image algo ~arch:cost_arch profile
-          in
-          let archs = archs_for image profile in
-          let out = Runner.simulate ~max_steps:wall_steps ~trace ~archs image in
-          Array.iter
-            (fun (arch, sim) ->
-              let iv = Ba_bound.Analyze.bounds ~arch ~profile image in
-              check_brackets
-                ~what:
-                  (Printf.sprintf "%s/%s" w.Ba_workloads.Spec.name
-                     (Ba_core.Align.algo_name algo))
-                ~arch ~iv (Bep.bep sim))
-            out.Runner.sims)
-        wall_cells)
-    Ba_workloads.Spec.all
+  Matrix.iter_wall (fun ~w ~algo ~arch:_ ~program:_ ~profile ~trace image ->
+      let archs = archs_for image profile in
+      let out = Runner.simulate ~max_steps:wall_steps ~trace ~archs image in
+      Array.iter
+        (fun (arch, sim) ->
+          let iv = Ba_bound.Analyze.bounds ~arch ~profile image in
+          check_brackets
+            ~what:
+              (Printf.sprintf "%s/%s" w.Ba_workloads.Spec.name
+                 (Ba_core.Align.algo_name algo))
+            ~arch ~iv (Bep.bep sim))
+        out.Runner.sims)
 
 (* ------------------------------------------------------------------ *)
 (* Random programs: soundness on shapes the workloads don't cover, and

@@ -78,10 +78,7 @@ let conflict_occupant_weight m =
         acc c.Analyze.occupants)
     0 m.Analyze.conflicts
 
-let workload name =
-  List.find
-    (fun (w : Ba_workloads.Spec.t) -> w.Ba_workloads.Spec.name = name)
-    Ba_workloads.Spec.all
+let workload = Matrix.workload
 
 let errors diags =
   let e, _, _ = Ba_analysis.Diagnostic.count diags in
@@ -474,14 +471,10 @@ let test_alpha_cross =
 (* The agreement wall: every built-in workload, original and Try15/BTB
    images, static maps vs dynamic counters under matching geometries. *)
 
-let wall_steps = 20_000
+let wall_steps = Matrix.wall_steps
 
 let test_workload_agreement () =
-  List.iter
-    (fun (w : Ba_workloads.Spec.t) ->
-      let program, profile, trace =
-        Ba_workloads.Profiled.get_traced ~max_steps:wall_steps w
-      in
+  Matrix.iter_traced (fun w program profile trace ->
       let images =
         [
           ("orig", Ba_layout.Image.original ~profile program);
@@ -558,7 +551,6 @@ let test_workload_agreement () =
               true
               (miss <= im.Analyze.items))
         images)
-    Ba_workloads.Spec.all
 
 (* ------------------------------------------------------------------ *)
 (* Placement invariants. *)
