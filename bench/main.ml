@@ -238,17 +238,47 @@ let run_record () =
           in
           (delta_s, full_s)
         in
+        (* ExtTsp chain-merge pricing, incremental vs from-scratch: run
+           the same merge loop twice, once reading the windowed
+           evaluator's cached total after every merge and once
+           recomputing every edge with scratch_total.  Both sides see
+           identical floats (test_exttsp.ml's wall holds them
+           bit-equal); the ratio is what incremental merge pricing
+           buys. *)
+        let exttsp_delta_s, exttsp_full_s =
+          let merge_loop ~price pid =
+            let ev = Ba_core.Exttsp.Eval.create profile pid in
+            let rec loop () =
+              match Ba_core.Exttsp.Eval.best_merge ev with
+              | None -> ()
+              | Some (a, b, _) ->
+                Ba_core.Exttsp.Eval.merge ev a b;
+                ignore (price ev : float);
+                loop ()
+            in
+            loop ()
+          in
+          let each price () =
+            for pid = 0 to Ba_ir.Program.n_procs program - 1 do
+              merge_loop ~price pid
+            done
+          in
+          ( time_run (each Ba_core.Exttsp.Eval.total),
+            time_run (each Ba_core.Exttsp.Eval.scratch_total) )
+        in
         ( w.Ba_workloads.Spec.name, interpret_s, replay_s, analyze_s, bound_s,
-          delta_s, full_s, trace ))
+          delta_s, full_s, exttsp_delta_s, exttsp_full_s, trace ))
       Ba_workloads.Spec.all
   in
   let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
-  let total_interpret = total (fun (_, i, _, _, _, _, _, _) -> i) in
-  let total_replay = total (fun (_, _, r, _, _, _, _, _) -> r) in
-  let total_analyze = total (fun (_, _, _, a, _, _, _, _) -> a) in
-  let total_bound = total (fun (_, _, _, _, b, _, _, _) -> b) in
-  let total_delta = total (fun (_, _, _, _, _, d, _, _) -> d) in
-  let total_full = total (fun (_, _, _, _, _, _, f, _) -> f) in
+  let total_interpret = total (fun (_, i, _, _, _, _, _, _, _, _) -> i) in
+  let total_replay = total (fun (_, _, r, _, _, _, _, _, _, _) -> r) in
+  let total_analyze = total (fun (_, _, _, a, _, _, _, _, _, _) -> a) in
+  let total_bound = total (fun (_, _, _, _, b, _, _, _, _, _) -> b) in
+  let total_delta = total (fun (_, _, _, _, _, d, _, _, _, _) -> d) in
+  let total_full = total (fun (_, _, _, _, _, _, f, _, _, _) -> f) in
+  let total_exttsp_delta = total (fun (_, _, _, _, _, _, _, d, _, _) -> d) in
+  let total_exttsp_full = total (fun (_, _, _, _, _, _, _, _, f, _) -> f) in
   let json =
     Ba_util.Json.Obj
       [
@@ -259,7 +289,7 @@ let run_record () =
             (List.map
                (fun
                  ( name, interpret_s, replay_s, analyze_s, bound_s, delta_s,
-                   full_s, trace )
+                   full_s, exttsp_delta_s, exttsp_full_s, trace )
                ->
                  Ba_util.Json.Obj
                    [
@@ -270,8 +300,12 @@ let run_record () =
                      ("bound_s", Ba_util.Json.Float bound_s);
                      ("delta_s", Ba_util.Json.Float delta_s);
                      ("full_s", Ba_util.Json.Float full_s);
+                     ("exttsp_delta_s", Ba_util.Json.Float exttsp_delta_s);
+                     ("exttsp_full_s", Ba_util.Json.Float exttsp_full_s);
                      ("speedup", Ba_util.Json.Float (interpret_s /. replay_s));
                      ("delta_speedup", Ba_util.Json.Float (full_s /. delta_s));
+                     ( "exttsp_speedup",
+                       Ba_util.Json.Float (exttsp_full_s /. exttsp_delta_s) );
                      ( "trace_bytes",
                        Ba_util.Json.Int (Ba_trace.Trace.byte_size trace) );
                      ("trace_steps", Ba_util.Json.Int trace.Ba_trace.Trace.steps);
@@ -283,9 +317,13 @@ let run_record () =
         ("total_bound_s", Ba_util.Json.Float total_bound);
         ("total_delta_s", Ba_util.Json.Float total_delta);
         ("total_full_s", Ba_util.Json.Float total_full);
+        ("total_exttsp_delta_s", Ba_util.Json.Float total_exttsp_delta);
+        ("total_exttsp_full_s", Ba_util.Json.Float total_exttsp_full);
         ("total_speedup", Ba_util.Json.Float (total_interpret /. total_replay));
         ( "total_delta_speedup",
           Ba_util.Json.Float (total_full /. total_delta) );
+        ( "total_exttsp_speedup",
+          Ba_util.Json.Float (total_exttsp_full /. total_exttsp_delta) );
       ]
   in
   let path = next_bench_path () in
@@ -295,22 +333,28 @@ let run_record () =
   close_out oc;
   Printf.printf "== Perf trajectory (interpret vs replay, %d steps) ==\n" record_steps;
   List.iter
-    (fun (name, interpret_s, replay_s, analyze_s, bound_s, delta_s, full_s, trace) ->
+    (fun
+      ( name, interpret_s, replay_s, analyze_s, bound_s, delta_s, full_s,
+        exttsp_delta_s, exttsp_full_s, trace )
+    ->
       Printf.printf
         "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  bound %6.3fs  \
          speedup %5.2fx  delta %8.5fs  full %6.3fs  delta-speedup %7.1fx  \
-         trace %d B\n"
+         exttsp %8.5fs/%8.5fs  trace %d B\n"
         name interpret_s replay_s analyze_s bound_s
         (interpret_s /. replay_s)
-        delta_s full_s (full_s /. delta_s)
+        delta_s full_s (full_s /. delta_s) exttsp_delta_s exttsp_full_s
         (Ba_trace.Trace.byte_size trace))
     rows;
   Printf.printf
     "%-12s interpret %6.3fs  replay %6.3fs  analyze %6.3fs  bound %6.3fs  \
-     speedup %5.2fx  delta %8.5fs  full %6.3fs  delta-speedup %7.1fx\n"
+     speedup %5.2fx  delta %8.5fs  full %6.3fs  delta-speedup %7.1fx  \
+     exttsp %8.5fs/%8.5fs (%5.1fx)\n"
     "TOTAL" total_interpret total_replay total_analyze total_bound
     (total_interpret /. total_replay)
-    total_delta total_full (total_full /. total_delta);
+    total_delta total_full (total_full /. total_delta)
+    total_exttsp_delta total_exttsp_full
+    (total_exttsp_full /. total_exttsp_delta);
   Printf.printf "wrote %s\n" path
 
 let run_tables () =

@@ -14,6 +14,7 @@ let parse_core_algo = function
   | "orig" | "original" -> Ok Ba_core.Align.Original
   | "greedy" | "pettis-hansen" -> Ok Ba_core.Align.Greedy
   | "cost" -> Ok Ba_core.Align.Cost
+  | "exttsp" -> Ok Ba_core.Align.ExtTsp
   | s when String.length s > 3 && String.sub s 0 3 = "try" -> (
     match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
     | Some n when n > 0 -> Ok (Ba_core.Align.Tryn n)
@@ -58,7 +59,9 @@ let workload_arg =
   Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
 
 let algo_arg =
-  let doc = "Alignment algorithm: orig, greedy, cost, or tryN (e.g. try15)." in
+  let doc =
+    "Alignment algorithm: orig, greedy, cost, exttsp, or tryN (e.g. try15)."
+  in
   Arg.(value & opt algo_conv (Ba_core.Align.Tryn 15) & info [ "algo" ] ~doc)
 
 let arch_arg =
@@ -93,7 +96,7 @@ let bep_archs =
     Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
   ]
 
-let run_cmd name algo arch max_steps =
+let run_cmd name algo arch interproc max_steps =
   let workload = lookup name in
   (* Record once, replay many: the memoized pass yields program + profile +
      semantic trace; both images below replay instead of re-interpreting. *)
@@ -106,15 +109,22 @@ let run_cmd name algo arch max_steps =
     Ba_sim.Runner.simulate ~max_steps ~trace ~archs:(archs_for orig_image) orig_image
   in
   let orig_insns = orig.Ba_sim.Runner.result.Ba_exec.Engine.insns in
-  let aligned_image = Ba_core.Align.image algo ~arch profile in
+  let aligned_image =
+    if interproc then
+      let decisions = Ba_core.Align.align_program algo ~arch profile in
+      (Ba_layout.Image.build_interproc ~profile program decisions)
+        .Ba_layout.Image.image
+    else Ba_core.Align.image algo ~arch profile
+  in
   let aligned =
     Ba_sim.Runner.simulate ~max_steps ~trace ~archs:(archs_for aligned_image)
       aligned_image
   in
-  Printf.printf "workload %s: %s  (algorithm %s, cost model %s)\n\n"
+  Printf.printf "workload %s: %s  (algorithm %s, cost model %s%s)\n\n"
     workload.Ba_workloads.Spec.name workload.Ba_workloads.Spec.description
     (Ba_core.Align.algo_name algo)
-    (Ba_core.Cost_model.arch_name arch);
+    (Ba_core.Cost_model.arch_name arch)
+    (if interproc then ", inter-procedural layout" else "");
   Printf.printf "instructions: %s -> %s  (code size %d -> %d)\n"
     (Ba_util.Ascii_table.int_cell orig_insns)
     (Ba_util.Ascii_table.int_cell aligned.Ba_sim.Runner.result.Ba_exec.Engine.insns)
@@ -622,7 +632,7 @@ let lint_cmd workload algo arch strict format max_steps jobs =
       !total_infos);
   if !total_errors > 0 || (strict && !total_warnings > 0) then exit 1
 
-let verify_cmd workload algo arch strict no_audit format max_steps jobs =
+let verify_cmd workload algo arch strict no_audit interproc format max_steps jobs =
   let workloads =
     match workload with Some name -> [ lookup name ] | None -> Ba_workloads.Spec.all
   in
@@ -642,7 +652,7 @@ let verify_cmd workload algo arch strict no_audit format max_steps jobs =
             in
             ( w,
               Ba_verify.Run.verify_pipeline ~arch ~max_steps ~profile ~trace
-                ~audit:(not no_audit) ~algo ~pool program ))
+                ~audit:(not no_audit) ~interproc ~algo ~pool program ))
           workloads)
   in
   let total_errors = ref 0 and total_warnings = ref 0 and total_infos = ref 0 in
@@ -1120,10 +1130,21 @@ let () =
   let proc_arg =
     Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id to dump.")
   in
+  let interproc_arg =
+    let doc =
+      "Build the aligned image with the inter-procedural layout: procedures \
+       chained along their heaviest call edges and all-cold layout suffixes \
+       moved to one trailing cold section.  Decisions are unchanged — only \
+       address assignment differs."
+    in
+    Arg.(value & flag & info [ "interproc" ] ~doc)
+  in
   let run =
     Cmd.v
       (Cmd.info "run" ~doc:"Profile, align and compare a workload.")
-      Term.(const run_cmd $ workload_arg $ algo_arg $ arch_arg $ max_steps_arg)
+      Term.(
+        const run_cmd $ workload_arg $ algo_arg $ arch_arg $ interproc_arg
+        $ max_steps_arg)
   in
   let list =
     Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const list_cmd $ const ())
@@ -1319,6 +1340,16 @@ let () =
       let doc = "Skip the optimality audit (bisimulation and certification only)." in
       Arg.(value & flag & info [ "no-audit" ] ~doc)
     in
+    let interproc_arg =
+      let doc =
+        "Verify the inter-procedural layout instead of the classic one: the \
+         image is built with call-graph stitching and hot/cold splitting, \
+         and the whole-image address map (procedure order, one cold \
+         section, no overlaps) is checked alongside the per-procedure \
+         bisimulation."
+      in
+      Arg.(value & flag & info [ "interproc" ] ~doc)
+    in
     Cmd.v
       (Cmd.info "verify"
          ~doc:
@@ -1328,7 +1359,8 @@ let () =
             for locally improvable decisions; exits non-zero unless every \
             workload verifies.")
       Term.(const verify_cmd $ workload_opt_arg $ algo_arg $ arch_arg
-            $ strict_arg $ no_audit_arg $ format_arg $ max_steps_arg $ jobs_arg)
+            $ strict_arg $ no_audit_arg $ interproc_arg $ format_arg
+            $ max_steps_arg $ jobs_arg)
   in
   exit
     (Cmd.eval

@@ -98,6 +98,13 @@ let run_all max_steps only tryn jobs timings metrics =
   print_string (Ba_report.Tables.table4 evals);
   print_endline "\n== Figure 4: relative execution time, Alpha 21064 model ==";
   print_string (Ba_report.Tables.fig4 evals);
+  print_endline
+    "\n== Inter-procedural layout: penalty cycles, plain>stitched (ExtTsp) ==";
+  let ip_rows =
+    collected (fun () ->
+        Ba_report.Interproc.evaluate_suite ~max_steps ?jobs (select only))
+  in
+  print_string (Ba_report.Interproc.render ip_rows);
   if timings then begin
     print_endline "\n== Per-workload evaluation wall times ==";
     print_string (Ba_par.Stats.render stats)
@@ -123,6 +130,19 @@ let run_placement max_steps only tryn jobs format =
   | `Ascii -> print_string (Ba_report.Placement.render rows)
   | `Json ->
     print_endline (Ba_util.Json.to_string (Ba_report.Placement.to_json rows))
+
+(* The inter-procedural layout table: ExtTsp-aligned decisions scored
+   through both the classic per-procedure image and the stitched one, the
+   stitched layout proved before being trusted. *)
+let run_interproc max_steps only jobs format =
+  let rows =
+    Ba_report.Interproc.evaluate_suite ~max_steps ?jobs (select only)
+  in
+  (match format with
+  | `Ascii -> print_string (Ba_report.Interproc.render rows)
+  | `Json ->
+    print_endline (Ba_util.Json.to_string (Ba_report.Interproc.to_json rows)));
+  if List.exists (fun r -> not r.Ba_report.Interproc.verified) rows then exit 1
 
 (* The measured optimality-gap table: exact simulated penalty cycles of
    each algorithm's layout against the Optimal-k branch-and-bound winner,
@@ -610,10 +630,22 @@ let () =
             const run_placement $ max_steps_arg $ only_arg $ tryn_arg
             $ jobs_arg $ placement_format_arg);
         Cmd.v
+          (Cmd.info "interproc"
+             ~doc:
+               "Inter-procedural layout: ExtTsp-aligned decisions scored \
+                through the classic per-procedure image and the \
+                call-graph-stitched, hot/cold-split one, across the seven \
+                simulated architectures.  Every stitched layout is \
+                bisimulation-proved and cost-certified; exits non-zero if \
+                any fails.")
+          Term.(
+            const run_interproc $ max_steps_arg $ only_arg $ jobs_arg
+            $ placement_format_arg);
+        Cmd.v
           (Cmd.info "gap"
              ~doc:
                "Measured optimality gaps: simulated penalty cycles of \
-                Greedy, Cost and Try15 against the Optimal-k \
+                Greedy, Cost, ExtTsp and Try15 against the Optimal-k \
                 branch-and-bound winner (pruned by static lower bounds), \
                 per workload and cost-model architecture.")
           Term.(

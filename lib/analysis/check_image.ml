@@ -1,6 +1,14 @@
 open Ba_ir
 open Ba_layout
 
+(* An image's address map is a set of contiguous runs: one per procedure
+   in the classic layout, two — hot prefix and cold suffix — for a
+   procedure split by the inter-procedural layout.  Within a procedure the
+   addresses must start at the base and increase contiguously, with at
+   most one upward gap (the hot/cold split), and only after a block that
+   cannot fall through.  Globally the runs may appear in any order (the
+   stitcher permutes procedure placement) but must not overlap, and
+   [total_size] must sit at the end of the last run. *)
 let check (image : Image.t) =
   let program = image.Image.program in
   let n_procs = Program.n_procs program in
@@ -18,41 +26,83 @@ let check (image : Image.t) =
          (Array.length image.Image.bases)
          n_procs)
   else begin
-    let expected_base = ref 0 in
+    let runs = ref [] in
     Array.iteri
       (fun pid (linear : Linear.t) ->
         let proc_name = (Program.proc program pid).Proc.name in
-        let proc_loc = Diagnostic.Proc { proc = pid; proc_name } in
-        (* A base past the previous end is a deliberate alignment gap
-           (conflict-aware placement pads between procedures); only bases
-           that run code into the preceding procedure are errors. *)
-        if image.Image.bases.(pid) < !expected_base then
-          add
-            (Diagnostic.make Diagnostic.Error ~rule:"image/proc-overlap" ~loc:proc_loc
-               "procedure based at address %d overlaps the previous procedure, \
-                which ends at %d"
-               image.Image.bases.(pid) !expected_base);
+        let at pos rule fmt =
+          Printf.ksprintf
+            (fun message ->
+              add
+                (Diagnostic.make Diagnostic.Error ~rule
+                   ~loc:(Diagnostic.Layout_pos { proc = pid; proc_name; pos })
+                   "%s" message))
+            fmt
+        in
+        let blocks = linear.Linear.blocks in
+        let run_start = ref image.Image.bases.(pid) in
         let cursor = ref image.Image.bases.(pid) in
+        let gaps = ref 0 in
         Array.iteri
           (fun i (lb : Linear.lblock) ->
-            if lb.Linear.addr <> !cursor then
-              add
-                (Diagnostic.make Diagnostic.Error
-                   ~rule:
-                     (if i = 0 then "image/base-mismatch" else "image/address-gap")
-                   ~loc:(Diagnostic.Layout_pos { proc = pid; proc_name; pos = i })
-                   "block at address %d but the preceding code ends at %d \
-                    (addresses must be contiguous and strictly increasing)"
-                   lb.Linear.addr !cursor);
-            cursor := lb.Linear.addr + Linear.block_size lb)
-          linear.Linear.blocks;
-        expected_base := !cursor)
+            if lb.Linear.addr <> !cursor then begin
+              if i = 0 then
+                at i "image/base-mismatch"
+                  "block at address %d but the procedure is based at %d"
+                  lb.Linear.addr !cursor
+              else if lb.Linear.addr < !cursor then
+                at i "image/address-gap"
+                  "block at address %d but the preceding code ends at %d \
+                   (addresses must be strictly increasing)"
+                  lb.Linear.addr !cursor
+              else begin
+                incr gaps;
+                if !gaps > 1 then
+                  at i "image/address-gap"
+                    "second address gap at %d (one hot/cold split is the \
+                     most a procedure may carry)"
+                    lb.Linear.addr
+                else begin
+                  if Linear.falls_through blocks.(i - 1) then
+                    at i "image/cold-fallthrough"
+                      "cold section starts at address %d but the block \
+                       before the split falls through"
+                      lb.Linear.addr;
+                  runs := (!run_start, !cursor, pid) :: !runs;
+                  run_start := lb.Linear.addr
+                end
+              end;
+              (* resynchronise so one bad address reports once *)
+              cursor := lb.Linear.addr
+            end;
+            cursor := !cursor + Linear.block_size lb)
+          blocks;
+        runs := (!run_start, !cursor, pid) :: !runs)
       image.Image.linears;
-    if image.Image.total_size <> !expected_base then
+    (* Gaps between runs are deliberate (inter-procedure pads, the
+       hot/cold boundary); only runs overrunning each other are errors. *)
+    let last_end =
+      List.fold_left
+        (fun prev_end (start, stop, pid) ->
+          if start < prev_end then
+            add
+              (Diagnostic.make Diagnostic.Error ~rule:"image/proc-overlap"
+                 ~loc:
+                   (Diagnostic.Proc
+                      { proc = pid;
+                        proc_name = (Program.proc program pid).Proc.name })
+                 "code run at address %d overlaps the previous run, which \
+                  ends at %d"
+                 start prev_end);
+          max prev_end stop)
+        0
+        (List.sort compare (List.rev !runs))
+    in
+    if image.Image.total_size <> last_end then
       add
         (Diagnostic.make Diagnostic.Error ~rule:"image/total-size"
            ~loc:Diagnostic.Program
-           "total_size is %d but the last procedure ends at address %d"
-           image.Image.total_size !expected_base)
+           "total_size is %d but the last code run ends at address %d"
+           image.Image.total_size last_end)
   end;
   List.rev !diags

@@ -33,11 +33,11 @@ let proc_branch_cost ~arch ~profile program decision p =
    lowerings per candidate.  [Model.total]/[Model.preview] are bit-equal
    to [proc_branch_cost], so the guard accepts exactly the same swaps
    either way (the equality gate in [test_delta.ml] pins this). *)
-let swap_pass ?(delta = true) ~suite ~arch ~profile program decisions =
+let swap_pass ?(delta = true) ~suite ~arch ~build ~profile program decisions =
   let n = Program.n_procs program in
   let swaps = ref 0 in
   let current_obj =
-    ref (objective_of ~suite ~profile (Image.build ~profile program decisions))
+    ref (objective_of ~suite ~profile (build ?pads:None decisions))
   in
   for p = 0 to n - 1 do
     let len = Proc.n_blocks (Program.proc program p) in
@@ -64,7 +64,7 @@ let swap_pass ?(delta = true) ~suite ~arch ~profile program decisions =
       if cost_ok then begin
         let saved = decisions.(p) in
         decisions.(p) <- Decision.swap_positions decisions.(p) pos (pos + 1);
-        let obj = objective_of ~suite ~profile (Image.build ~profile program decisions) in
+        let obj = objective_of ~suite ~profile (build ?pads:None decisions) in
         if obj < !current_obj then begin
           current_obj := obj;
           incr swaps;
@@ -78,28 +78,40 @@ let swap_pass ?(delta = true) ~suite ~arch ~profile program decisions =
 
 (* Greedy pad sweep: procedures in order, each pad chosen to minimise the
    objective given the pads already fixed; ties keep the smaller pad, so a
-   layout with nothing to gain keeps all-zero pads. *)
-let pad_sweep ~suite ~max_pad ~profile program decisions =
-  let image = Image.build ~profile program decisions in
-  let summary = Site.extract ~profile image in
+   layout with nothing to gain keeps all-zero pads.
+
+   The classic layout shifts a procedure's whole body with its base, so
+   the site summary is extracted once and only the bases recomputed per
+   candidate pad.  A stitched image has no such shortcut — a pad moves the
+   hot region, the cold section, and everything placed after either — so
+   the interproc path rebuilds the image per candidate (programs are small
+   enough that the exact sweep stays cheap). *)
+let pad_sweep ~suite ~max_pad ~interproc ~build ~profile program decisions =
   let n = Program.n_procs program in
-  let sizes =
-    Array.map (fun linear -> Linear.code_size linear) image.Image.linears
-  in
   let pads = Array.make n 0 in
-  let bases_for pads =
-    let bases = Array.make n 0 in
-    let addr = ref 0 in
-    for p = 0 to n - 1 do
-      addr := !addr + pads.(p);
-      bases.(p) <- !addr;
-      addr := !addr + sizes.(p)
-    done;
-    bases
-  in
-  let objective pads =
-    Analyze.objective
-      (Analyze.of_summary ~suite ~bases:(bases_for pads) summary)
+  let objective =
+    if interproc then fun pads ->
+      objective_of ~suite ~profile (build ?pads:(Some pads) decisions)
+    else begin
+      let image = build ?pads:None decisions in
+      let summary = Site.extract ~profile image in
+      let sizes =
+        Array.map (fun linear -> Linear.code_size linear) image.Image.linears
+      in
+      let bases_for pads =
+        let bases = Array.make n 0 in
+        let addr = ref 0 in
+        for p = 0 to n - 1 do
+          addr := !addr + pads.(p);
+          bases.(p) <- !addr;
+          addr := !addr + sizes.(p)
+        done;
+        bases
+      in
+      fun pads ->
+        Analyze.objective
+          (Analyze.of_summary ~suite ~bases:(bases_for pads) summary)
+    end
   in
   for p = 0 to n - 1 do
     let best_pad = ref 0 and best_obj = ref (objective pads) in
@@ -116,17 +128,22 @@ let pad_sweep ~suite ~max_pad ~profile program decisions =
   pads
 
 let improve ?(suite = Structure.placement_suite)
-    ?(arch = Ba_core.Cost_model.Btfnt) ?(max_pad = 32) ?delta ~profile program
-    decisions =
+    ?(arch = Ba_core.Cost_model.Btfnt) ?(max_pad = 32) ?delta
+    ?(interproc = false) ~profile program decisions =
   Ba_obs.Span.with_ "place" @@ fun () ->
   if Array.length decisions <> Program.n_procs program then
     invalid_arg "Place.improve: one decision per procedure required";
   let decisions = Array.copy decisions in
-  let before =
-    objective_of ~suite ~profile (Image.build ~profile program decisions)
+  let build ?pads decisions =
+    if interproc then
+      (Image.build_interproc ?pads ~profile program decisions).Image.image
+    else Image.build ?pads ~profile program decisions
   in
-  let _, swaps = swap_pass ?delta ~suite ~arch ~profile program decisions in
-  let pads = pad_sweep ~suite ~max_pad ~profile program decisions in
-  let image = Image.build ~profile ~pads program decisions in
+  let before = objective_of ~suite ~profile (build ?pads:None decisions) in
+  let _, swaps =
+    swap_pass ?delta ~suite ~arch ~build ~profile program decisions
+  in
+  let pads = pad_sweep ~suite ~max_pad ~interproc ~build ~profile program decisions in
+  let image = build ~pads decisions in
   let after = objective_of ~suite ~profile image in
   { image; decisions; pads; before; after; swaps }

@@ -32,6 +32,7 @@ val improve :
   ?arch:Ba_core.Cost_model.arch ->
   ?max_pad:int ->
   ?delta:bool ->
+  ?interproc:bool ->
   profile:Ba_cfg.Profile.t ->
   Ba_ir.Program.t ->
   Ba_layout.Decision.t array ->
@@ -46,4 +47,13 @@ val improve :
     [delta] (default [true]) prices the swap guard incrementally with
     {!Ba_delta.Model} instead of re-lowering the whole procedure per
     candidate; the accepted swaps — and therefore the result — are
-    bit-identical either way. *)
+    bit-identical either way.
+
+    [interproc] (default [false]) composes placement with the stitched
+    layout: every image — the objective baseline, each swap candidate's,
+    each pad candidate's and the final result — is built with
+    {!Ba_layout.Image.build_interproc}, so the pads steer the hot regions
+    of the stitched order (the cold section and later procedures shift
+    with them, and the pad sweep prices each candidate exactly by
+    rebuilding rather than through the base-shift shortcut, which is
+    unsound for split procedures). *)

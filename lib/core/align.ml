@@ -1,14 +1,16 @@
-type algo = Original | Greedy | Cost | Tryn of int
+type algo = Original | Greedy | Cost | Tryn of int | ExtTsp
 
 let algo_name = function
   | Original -> "Orig"
   | Greedy -> "Greedy"
   | Cost -> "Cost"
   | Tryn n -> Printf.sprintf "Try%d" n
+  | ExtTsp -> "ExtTsp"
 
 let run_algo algo ?delta ~arch ?table ?min_weight ctx =
   match algo with
   | Original -> invalid_arg "Align.run_algo: Original has no chains"
+  | ExtTsp -> invalid_arg "Align.run_algo: ExtTsp merges its own chains"
   | Greedy -> Greedy.build_chains ctx
   | Cost -> Cost_align.build_chains ~arch ?table ctx
   | Tryn n -> Tryn.build_chains ?delta ~arch ?table ~n ?min_weight ctx
@@ -33,6 +35,12 @@ let align_proc algo ?strategy ?delta ?(arch = Cost_model.Btfnt) ?table ?min_weig
   let proc = Ba_ir.Program.proc program pid in
   match algo with
   | Original -> Ba_layout.Decision.identity proc
+  | ExtTsp ->
+    (* Chain merging over the extended-TSP objective; architecture
+       oblivious, so [arch]/[refine_rounds] do not apply.  The
+       never-worse-than-Greedy guard (under the ExtTSP objective) lives
+       inside [Exttsp.align_proc]. *)
+    Exttsp.align_proc ?strategy profile pid
   | Greedy | Cost | Tryn _ ->
     if refine_rounds < 1 then invalid_arg "Align.align_proc: refine_rounds must be >= 1";
     let base_ctx = Ctx.of_profile profile pid in
@@ -54,7 +62,7 @@ let align_proc algo ?strategy ?delta ?(arch = Cost_model.Btfnt) ?table ?min_weig
     in
     let decision = refine 1 (one_round base_ctx) in
     (match algo with
-    | Original | Greedy -> decision
+    | Original | ExtTsp | Greedy -> decision
     | Cost | Tryn _ ->
       (* Model guard: the cost-model heuristics estimate during chain
          construction and can (rarely — ~0.1% of random CFGs) end up

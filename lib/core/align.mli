@@ -25,6 +25,10 @@ type algo =
   | Greedy
   | Cost
   | Tryn of int  (** group size; the paper's Try15 is [Tryn 15] *)
+  | ExtTsp
+      (** chain merging over the extended-TSP objective ({!Exttsp});
+          architecture-oblivious like [Greedy], so [arch], [delta] and
+          [refine_rounds] do not apply *)
 
 val algo_name : algo -> string
 

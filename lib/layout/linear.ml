@@ -32,6 +32,16 @@ let term_insns = function
 
 let block_size lb = lb.insns + term_insns lb.term
 
+let falls_through lb =
+  match lb.term with
+  | Lnone
+  | Lcond { inserted_jump = None; _ }
+  | Lcall { cont = Fall; _ }
+  | Lvcall { cont = Fall; _ } -> true
+  | Ljump _ | Lcond { inserted_jump = Some _; _ } | Lswitch _
+  | Lcall { cont = Jump_to _; _ } | Lvcall { cont = Jump_to _; _ }
+  | Lret | Lhalt -> false
+
 let code_size t = Array.fold_left (fun acc lb -> acc + block_size lb) 0 t.blocks
 
 let static_successors t i =

@@ -49,6 +49,13 @@ val block_size : lblock -> int
 
 val code_size : t -> int
 
+val falls_through : lblock -> bool
+(** Can control reach the next layout position implicitly, without a
+    branch instruction?  True for [Lnone], a conditional without an
+    inserted jump, and call continuations lowered to [Fall].  The
+    inter-procedural splitter ({!Image.build_interproc}) may only open an
+    address gap after a block where this is [false]. *)
+
 val static_successors : t -> int -> int list
 (** Layout positions control can transfer to from the block at the given
     position, derived from the lowered terminator alone (fall-throughs,

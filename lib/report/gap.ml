@@ -5,6 +5,7 @@ type cell = {
   model : Cost_model.arch;
   greedy : int;
   cost : int;
+  exttsp : int;
   tryn : int;
   anneal : int;
   optimal : int;
@@ -67,6 +68,7 @@ let evaluate ?max_steps ?(k = 4) ?(tryn = 15) ?(delta = true)
         in
         let greedy = bep (layout Align.Greedy) in
         let cost = bep (layout Align.Cost) in
+        let exttsp = bep (layout Align.ExtTsp) in
         let tryn_bep = bep base in
         let anneal = bep (Ba_delta.Anneal.align_program ~arch:model profile) in
         (* Optimal-k explores reorderings of the strongest algorithm's
@@ -77,6 +79,7 @@ let evaluate ?max_steps ?(k = 4) ?(tryn = 15) ?(delta = true)
           model;
           greedy;
           cost;
+          exttsp;
           tryn = tryn_bep;
           anneal;
           optimal = r.Optimal.best_cost;
@@ -101,12 +104,14 @@ let render rows =
       column ~align:Left "arch";
       column "greedy";
       column "cost";
+      column "exttsp";
       column "try15";
       column "anneal";
       column "opt-k";
       column "opt-lb";
       column "gap(greedy)";
       column "gap(cost)";
+      column "gap(exttsp)";
       column "gap(try15)";
       column "gap(anneal)";
       column "sim/cand";
@@ -122,12 +127,14 @@ let render rows =
               Cost_model.arch_name c.model;
               string_of_int c.greedy;
               string_of_int c.cost;
+              string_of_int c.exttsp;
               string_of_int c.tryn;
               string_of_int c.anneal;
               string_of_int c.optimal;
               string_of_int c.opt_lower;
               string_of_int (c.greedy - c.optimal);
               string_of_int (c.cost - c.optimal);
+              string_of_int (c.exttsp - c.optimal);
               string_of_int (c.tryn - c.optimal);
               string_of_int (c.anneal - c.optimal);
               Printf.sprintf "%d/%d" c.simulated c.candidates;
@@ -141,7 +148,7 @@ let to_json rows =
   let open Ba_util.Json in
   Obj
     [
-      ("schema", String "ba-gap/1");
+      ("schema", String "ba-gap/2");
       ( "rows",
         List
           (List.concat_map
@@ -154,12 +161,14 @@ let to_json rows =
                        ("arch", String (Cost_model.arch_name c.model));
                        ("greedy", Int c.greedy);
                        ("cost", Int c.cost);
+                       ("exttsp", Int c.exttsp);
                        ("try15", Int c.tryn);
                        ("anneal", Int c.anneal);
                        ("optimal", Int c.optimal);
                        ("optimal_lower", Int c.opt_lower);
                        ("gap_greedy", Int (c.greedy - c.optimal));
                        ("gap_cost", Int (c.cost - c.optimal));
+                       ("gap_exttsp", Int (c.exttsp - c.optimal));
                        ("gap_try15", Int (c.tryn - c.optimal));
                        ("gap_anneal", Int (c.anneal - c.optimal));
                        ("candidates", Int c.candidates);

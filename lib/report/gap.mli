@@ -1,7 +1,7 @@
 (** The measured optimality-gap table ([experiments gap]).
 
     For each workload x cost-model architecture: the exact simulated
-    penalty cycles of the Greedy, Cost and Try15 layouts, and the
+    penalty cycles of the Greedy, Cost, ExtTsp and Try15 layouts, and the
     {!Ba_core.Optimal} branch-and-bound result over the Try15 layout's k
     hottest chains — an exactly-priced optimum over the candidate set,
     reached while pruning most candidates on their {!Ba_bound} lower
@@ -21,6 +21,7 @@ type cell = {
   model : Ba_core.Cost_model.arch;
   greedy : int;  (** penalty cycles, Greedy layout *)
   cost : int;
+  exttsp : int;  (** penalty cycles, extended-TSP chain-merging layout *)
   tryn : int;
   anneal : int;  (** penalty cycles, simulated-annealing layout (seed 0) *)
   optimal : int;  (** Optimal-k best exactly-priced cost *)

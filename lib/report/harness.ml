@@ -17,6 +17,7 @@ type eval = {
   stats : Ba_exec.Trace_stats.summary;
   orig : arch_cpis;
   greedy : arch_cpis;
+  exttsp : arch_cpis;
   try15 : arch_cpis;
   anneal : arch_cpis;
   pct_ft_orig : float;
@@ -100,6 +101,10 @@ let evaluate ?max_steps ?(tryn = 15) ?(replay = true) (workload : Ba_workloads.S
   let greedy_btfnt_out =
     run_image ~archs:[ `Arch Bep.Static_btfnt ] greedy_btfnt_image
   in
+  (* ExtTSP is architecture-oblivious like Greedy: one image, all seven
+     simulated architectures. *)
+  let exttsp_image = Align.image Align.ExtTsp profile in
+  let exttsp_out = run_image ~archs:full_archs exttsp_image in
   (* One Try15 alignment per architectural cost model. *)
   let try15_image ?strategy arch = Align.image (Align.Tryn tryn) ?strategy ~arch profile in
   let t15_ft_img = try15_image Cost_model.Fallthrough in
@@ -187,6 +192,7 @@ let evaluate ?max_steps ?(tryn = 15) ?(replay = true) (workload : Ba_workloads.S
     greedy =
       { (cpis_of_full greedy_out ~orig_insns) with
         btfnt = cpi greedy_btfnt_out ~orig_insns 0 };
+    exttsp = cpis_of_full exttsp_out ~orig_insns;
     try15;
     anneal;
     pct_ft_orig = Ba_exec.Trace_stats.pct_cond_fallthrough orig_out.Runner.stats;

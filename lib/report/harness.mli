@@ -37,6 +37,10 @@ type eval = {
   stats : Ba_exec.Trace_stats.summary;  (** Table 2 row, original layout *)
   orig : arch_cpis;  (** Table 3/4 "Orig" columns *)
   greedy : arch_cpis;  (** Table 3/4 "Greedy" columns *)
+  exttsp : arch_cpis;
+      (** Table 3/4 "ExtTsp" columns: extended-TSP chain merging
+          ({!Ba_core.Exttsp}); architecture-oblivious, so one image feeds
+          all seven architectures, as Greedy's does *)
   try15 : arch_cpis;
       (** Table 3/4 "Try15" columns; each architecture's figure comes from
           the image aligned with that architecture's cost model *)

@@ -28,6 +28,17 @@ type row = {
 val arch_labels : string list
 (** Column labels, in {!Harness.full_archs} order. *)
 
+val penalties :
+  max_steps:int ->
+  profile:Ba_cfg.Profile.t ->
+  ?trace:Ba_trace.Trace.t ->
+  Ba_layout.Image.t ->
+  int array
+(** Penalty cycles of one image per {!Harness.full_archs} architecture
+    (LIKELY bits rebuilt from the image itself); the inter-procedural
+    report scores its images through the same helper so the columns
+    match. *)
+
 val evaluate :
   ?max_steps:int -> ?tryn:int -> ?replay:bool -> Ba_workloads.Spec.t -> row
 

@@ -81,9 +81,12 @@ let table3 evals =
     [
       lcol "Program";
       (* relative CPI *)
-      col "FT:Orig"; col "FT:Greedy"; col "FT:Try15"; col "FT:Anneal";
-      col "BTFNT:Orig"; col "BTFNT:Greedy"; col "BTFNT:Try15"; col "BTFNT:Anneal";
-      col "LIKELY:Orig"; col "LIKELY:Greedy"; col "LIKELY:Try15"; col "LIKELY:Anneal";
+      col "FT:Orig"; col "FT:Greedy"; col "FT:ExtTsp"; col "FT:Try15";
+      col "FT:Anneal";
+      col "BTFNT:Orig"; col "BTFNT:Greedy"; col "BTFNT:ExtTsp";
+      col "BTFNT:Try15"; col "BTFNT:Anneal";
+      col "LIKELY:Orig"; col "LIKELY:Greedy"; col "LIKELY:ExtTsp";
+      col "LIKELY:Try15"; col "LIKELY:Anneal";
       (* % fall-through conditionals *)
       col "%FT:Orig"; col "%FT:Greedy"; col "%FT:T15@FT"; col "%FT:T15@BTFNT";
       col "%FT:T15@LIKELY";
@@ -94,14 +97,17 @@ let table3 evals =
       e.Harness.workload.Ba_workloads.Spec.name;
       fc e.Harness.orig.Harness.fallthrough;
       fc e.Harness.greedy.Harness.fallthrough;
+      fc e.Harness.exttsp.Harness.fallthrough;
       fc e.Harness.try15.Harness.fallthrough;
       fc e.Harness.anneal.Harness.fallthrough;
       fc e.Harness.orig.Harness.btfnt;
       fc e.Harness.greedy.Harness.btfnt;
+      fc e.Harness.exttsp.Harness.btfnt;
       fc e.Harness.try15.Harness.btfnt;
       fc e.Harness.anneal.Harness.btfnt;
       fc e.Harness.orig.Harness.likely;
       fc e.Harness.greedy.Harness.likely;
+      fc e.Harness.exttsp.Harness.likely;
       fc e.Harness.try15.Harness.likely;
       fc e.Harness.anneal.Harness.likely;
       fc ~decimals:1 e.Harness.pct_ft_orig;
@@ -118,14 +124,17 @@ let table3 evals =
       label ^ " Avg";
       m (fun e -> e.Harness.orig.Harness.fallthrough);
       m (fun e -> e.Harness.greedy.Harness.fallthrough);
+      m (fun e -> e.Harness.exttsp.Harness.fallthrough);
       m (fun e -> e.Harness.try15.Harness.fallthrough);
       m (fun e -> e.Harness.anneal.Harness.fallthrough);
       m (fun e -> e.Harness.orig.Harness.btfnt);
       m (fun e -> e.Harness.greedy.Harness.btfnt);
+      m (fun e -> e.Harness.exttsp.Harness.btfnt);
       m (fun e -> e.Harness.try15.Harness.btfnt);
       m (fun e -> e.Harness.anneal.Harness.btfnt);
       m (fun e -> e.Harness.orig.Harness.likely);
       m (fun e -> e.Harness.greedy.Harness.likely);
+      m (fun e -> e.Harness.exttsp.Harness.likely);
       m (fun e -> e.Harness.try15.Harness.likely);
       m (fun e -> e.Harness.anneal.Harness.likely);
       mp (fun e -> e.Harness.pct_ft_orig);
@@ -143,16 +152,20 @@ let table4 evals =
   let columns =
     [
       lcol "Program";
-      col "PHT:Orig"; col "PHT:Greedy"; col "PHT:Try15"; col "PHT:Anneal";
-      col "gshare:Orig"; col "gshare:Greedy"; col "gshare:Try15"; col "gshare:Anneal";
-      col "BTB64:Orig"; col "BTB64:Greedy"; col "BTB64:Try15"; col "BTB64:Anneal";
-      col "BTB256:Orig"; col "BTB256:Greedy"; col "BTB256:Try15"; col "BTB256:Anneal";
+      col "PHT:Orig"; col "PHT:Greedy"; col "PHT:ExtTsp"; col "PHT:Try15";
+      col "PHT:Anneal";
+      col "gshare:Orig"; col "gshare:Greedy"; col "gshare:ExtTsp";
+      col "gshare:Try15"; col "gshare:Anneal";
+      col "BTB64:Orig"; col "BTB64:Greedy"; col "BTB64:ExtTsp";
+      col "BTB64:Try15"; col "BTB64:Anneal";
+      col "BTB256:Orig"; col "BTB256:Greedy"; col "BTB256:ExtTsp";
+      col "BTB256:Try15"; col "BTB256:Anneal";
     ]
   in
   let cells (e : Harness.eval) f =
     [
-      fc (f e.Harness.orig); fc (f e.Harness.greedy); fc (f e.Harness.try15);
-      fc (f e.Harness.anneal);
+      fc (f e.Harness.orig); fc (f e.Harness.greedy); fc (f e.Harness.exttsp);
+      fc (f e.Harness.try15); fc (f e.Harness.anneal);
     ]
   in
   let row (e : Harness.eval) =
@@ -167,6 +180,7 @@ let table4 evals =
       [
         m (fun e -> e.Harness.orig) f;
         m (fun e -> e.Harness.greedy) f;
+        m (fun e -> e.Harness.exttsp) f;
         m (fun e -> e.Harness.try15) f;
         m (fun e -> e.Harness.anneal) f;
       ]

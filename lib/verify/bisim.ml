@@ -89,16 +89,36 @@ let verify ~proc_id (linear : Linear.t) =
               "b%d lowered with %d straight-line instructions, the IR has %d"
               lb.Linear.src lb.Linear.insns want)
         blocks;
-      (* 4. The address map: contiguous, strictly increasing, so address
-         order and position order agree and branch displacements are
-         meaningful. *)
+      (* 4. The address map: strictly increasing runs, so address order
+         and position order agree and branch displacements are
+         meaningful.  A single upward gap is allowed — the
+         inter-procedural hot/cold split parks the cold suffix in a
+         trailing section — but only after a block that cannot fall
+         through: an implicit fall into an address gap would be control
+         flow the addresses do not describe. *)
       let cursor = ref blocks.(0).Linear.addr in
+      let gaps = ref 0 in
       Array.iteri
         (fun i (lb : Linear.lblock) ->
-          if lb.Linear.addr <> !cursor then
-            at i ~rule:"bisim/address-map"
-              "block at address %d but the preceding code ends at %d"
-              lb.Linear.addr !cursor;
+          if lb.Linear.addr <> !cursor then begin
+            if lb.Linear.addr < !cursor then
+              at i ~rule:"bisim/address-map"
+                "block at address %d but the preceding code ends at %d"
+                lb.Linear.addr !cursor
+            else begin
+              incr gaps;
+              if !gaps > 1 then
+                at i ~rule:"bisim/address-map"
+                  "second address gap at %d (one hot/cold split is the most \
+                   a procedure may carry)"
+                  lb.Linear.addr
+              else if Linear.falls_through blocks.(i - 1) then
+                at i ~rule:"bisim/cold-fallthrough"
+                  "cold section starts at address %d but the block before \
+                   the split falls through"
+                  lb.Linear.addr
+            end
+          end;
           cursor := lb.Linear.addr + Linear.block_size lb)
         blocks;
       (* 5. Transition matching: for every related pair (b, pos), the

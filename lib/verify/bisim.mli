@@ -27,7 +27,10 @@
     - [bisim/entry-position]: the entry block keeps the first address;
     - [bisim/block-size]: straight-line instruction counts are preserved;
     - [bisim/address-map]: addresses are contiguous in layout order, so
-      positions and addresses order identically;
+      positions and addresses order identically — with at most one upward
+      gap, the inter-procedural layout's hot/cold split;
+    - [bisim/cold-fallthrough]: the block before a hot/cold split falls
+      through, i.e. control would run into the address gap;
     - [bisim/off-end], [bisim/target-range]: no transfer leaves the code;
     - [bisim/kind-mismatch]: lowered terminators correspond to IR kinds;
     - [bisim/edge-mismatch]: a CFG edge dropped, added, or retargeted;

@@ -111,7 +111,8 @@ let verify_image ?pool ?(cert_arches = Ba_core.Cost_model.all_arches)
 let has_errors diags = List.exists Diagnostic.is_error diags
 
 let verify_pipeline ?pool ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches
-    ?max_steps ?profile ?trace ?audit ~algo (program : Ba_ir.Program.t) =
+    ?max_steps ?profile ?trace ?audit ?(interproc = false) ~algo
+    (program : Ba_ir.Program.t) =
   let unverified lint =
     { lint; bisim = []; certificates = []; cert_diags = []; audit = [];
       verified = false }
@@ -140,12 +141,24 @@ let verify_pipeline ?pool ?(arch = Ba_core.Cost_model.Btfnt) ?cert_arches
     (* Decision errors mean lowering was skipped (and would raise). *)
     if not (List.mem_assoc Run.Linear lint.Run.stages) then unverified lint
     else begin
-      let image = Ba_layout.Image.build ~profile program decisions in
+      (* In interproc mode the per-procedure bisimulation proves each
+         address run; the whole-image address map (stitched procedure
+         order, one cold section, no overlaps) is Check_image's job, so
+         run it on the stitched image too and fold its findings in. *)
+      let image, image_diags =
+        if interproc then begin
+          let ip = Ba_layout.Image.build_interproc ~profile program decisions in
+          ( ip.Ba_layout.Image.image,
+            Check_image.check ip.Ba_layout.Image.image )
+        end
+        else (Ba_layout.Image.build ~profile program decisions, [])
+      in
       let bisim, certificates, cert_diags, audit =
         verify_image ?pool ?cert_arches ~audit_arch:arch ?trace ?audit
           ~workload:program.Ba_ir.Program.name
           ~algo:(Ba_core.Align.algo_name algo) ~profile image
       in
+      let bisim = Diagnostic.sort (image_diags @ bisim) in
       {
         lint; bisim; certificates; cert_diags; audit;
         verified = bisim = [] && cert_diags = [] && certificates <> [];

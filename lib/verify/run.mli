@@ -59,6 +59,7 @@ val verify_pipeline :
   ?profile:Ba_cfg.Profile.t ->
   ?trace:Ba_trace.Trace.t ->
   ?audit:bool ->
+  ?interproc:bool ->
   algo:Ba_core.Align.algo ->
   Ba_ir.Program.t ->
   t
@@ -66,6 +67,10 @@ val verify_pipeline :
     then verify.  [arch] (default BT/FNT) selects the cost model the
     alignment and the audit run under; [cert_arches] (default all five)
     the certified architectures; [profile] replaces the profiling run as
-    in the lint pipeline.  Verification is skipped (with [verified =
-    false]) when the IR or the decisions have lint errors — there is no
-    lowered code to validate. *)
+    in the lint pipeline.  [interproc] (default false) builds the image
+    with {!Ba_layout.Image.build_interproc} instead of
+    {!Ba_layout.Image.build} — same decisions, stitched and hot/cold-split
+    addresses — so the bisimulation, the cost certificates and the audit
+    prove the cross-procedure layout.  Verification is skipped (with
+    [verified = false]) when the IR or the decisions have lint errors —
+    there is no lowered code to validate. *)

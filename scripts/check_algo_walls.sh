@@ -1,0 +1,36 @@
+#!/bin/sh
+# Every Ba_core.Align.algo constructor must appear in at least one test
+# wall.  The walls sweep Matrix.algos (test/matrix.ml), so in practice a
+# new constructor only has to be added there — but the sweep lists are
+# values, not the type, and nothing in the compiler ties them together.
+# This guard does: it scrapes the constructor names out of align.mli and
+# greps the test sources for each, failing the build when one never
+# shows up.
+set -eu
+
+root=$(dirname "$0")/..
+mli="$root/lib/core/align.mli"
+tests="$root/test"
+
+constructors=$(awk '
+  /^type algo =/ { in_type = 1; next }
+  in_type && /^[^ |]/ { in_type = 0 }
+  in_type && /^  \| / { sub(/^  \| /, ""); sub(/ .*/, ""); print }
+' "$mli")
+
+if [ -z "$constructors" ]; then
+  echo "check_algo_walls: no constructors parsed from $mli" >&2
+  exit 2
+fi
+
+missing=0
+for c in $constructors; do
+  if grep -rqE "Align\.$c|\| *$c\b" "$tests" --include='*.ml'; then
+    echo "ok   Align.$c appears in the test walls"
+  else
+    echo "FAIL Align.$c appears in no test wall (add it to test/matrix.ml)" >&2
+    missing=1
+  fi
+done
+
+exit $missing

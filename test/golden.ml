@@ -159,6 +159,77 @@ let metrics_json (slug, workload, cost_arch, make_arch) =
           : Ba_sim.Runner.outcome));
   (slug, Ba_util.Json.to_string (Ba_obs.Sink.to_json registry) ^ "\n")
 
+(* -- ExtTSP and inter-procedural layout report ----------------------------- *)
+
+let spec_named name =
+  match Ba_workloads.Spec.by_name name with
+  | Some w -> w
+  | None -> failwith ("unknown canonical workload " ^ name)
+
+(* A four-workload subset keeps the branch-and-bound gap search and the
+   stitched-image verification affordable; the full 24-workload ExtTsp
+   columns are already pinned through [tables]. *)
+let exttsp_subset = [ "compress"; "eqntott"; "li"; "wave5" ]
+
+let exttsp_report () =
+  assert (Ba_obs.Registry.current () = None);
+  let specs = List.map spec_named exttsp_subset in
+  let evals = Ba_report.Harness.evaluate_suite ~max_steps specs in
+  let gap_rows = Ba_report.Gap.evaluate_suite ~max_steps specs in
+  let ip_rows = Ba_report.Interproc.evaluate_suite ~max_steps specs in
+  List.iter
+    (fun (r : Ba_report.Interproc.row) ->
+      if not r.Ba_report.Interproc.verified then
+        failwith
+          ("exttsp_report: stitched " ^ r.Ba_report.Interproc.workload.Ba_workloads.Spec.name
+         ^ " failed verification"))
+    ip_rows;
+  (* The snapshot must pin a live inter-procedural win: at least one
+     verified workload where stitching strictly reduces some
+     architecture's penalty cycles. *)
+  let wins (r : Ba_report.Interproc.row) =
+    let w = ref false in
+    Array.iteri
+      (fun i p -> if r.Ba_report.Interproc.stitched.(i) < p then w := true)
+      r.Ba_report.Interproc.plain;
+    !w
+  in
+  if not (List.exists wins ip_rows) then
+    failwith "exttsp_report: no inter-procedural win in the subset";
+  String.concat "\n"
+    [
+      "== ExtTsp subset: static architectures, relative CPI ==";
+      Ba_report.Tables.table3 evals;
+      "== ExtTsp subset: dynamic architectures, relative CPI ==";
+      Ba_report.Tables.table4 evals;
+      "== Optimality gap, ExtTsp included ==";
+      Ba_report.Gap.render gap_rows;
+      "== Inter-procedural layout: penalty cycles, plain>stitched ==";
+      Ba_report.Interproc.render ip_rows;
+    ]
+
+(* -- Metrics JSON for one canonical inter-procedural pipeline -------------- *)
+
+(* The full stitched pipeline (profile+trace -> ExtTsp -> build_interproc
+   -> replay) under a fresh registry: the ExtTsp guard counter, the
+   stitcher's split/cold counters and the span tree are all pinned. *)
+let metrics_interproc () =
+  let spec = spec_named "wave5" in
+  let registry = Ba_obs.Registry.create () in
+  Ba_obs.Registry.with_registry registry (fun () ->
+      let program = spec.Ba_workloads.Spec.build () in
+      let profile, trace =
+        Ba_trace.Record.profile_and_record ~max_steps program
+      in
+      let decisions = Ba_core.Align.align_program Ba_core.Align.ExtTsp profile in
+      let ip = Ba_layout.Image.build_interproc ~profile program decisions in
+      ignore
+        (Ba_sim.Runner.simulate ~max_steps ~trace
+           ~archs:[ Ba_sim.Bep.Static_btfnt ]
+           ip.Ba_layout.Image.image
+          : Ba_sim.Runner.outcome));
+  Ba_util.Json.to_string (Ba_obs.Sink.to_json registry) ^ "\n"
+
 (* -- Canonical conflict report --------------------------------------------- *)
 
 (* The default-suite static conflict analysis of one workload's original
@@ -262,6 +333,8 @@ let bound_report () =
 
 let () =
   check "tables" (tables ());
+  check "exttsp_report" (exttsp_report ());
+  check "metrics_interproc" (metrics_interproc ());
   check "conflict_report" (conflict_report ());
   check "bound_report" (bound_report ());
   List.iter

@@ -3,20 +3,14 @@
    part of `dune runtest`; any Error-severity diagnostic fails the build
    with its rule id and location printed.
 
-   The 480 cells run on a Ba_par.Pool (BA_JOBS-many domains; BA_JOBS=1
+   The 600 cells run on a Ba_par.Pool (BA_JOBS-many domains; BA_JOBS=1
    forces the sequential path).  Each workload is profiled once via the
    Ba_workloads.Profiled memo and the profile shared across its algorithm
    × architecture cells — concurrent cells of the same workload block on
    the memo rather than re-profiling.  Results come back in cell order, so
    the report below is byte-identical whatever the scheduling. *)
 
-let algos =
-  [
-    Ba_core.Align.Original;
-    Ba_core.Align.Greedy;
-    Ba_core.Align.Cost;
-    Ba_core.Align.Tryn 15;
-  ]
+let algos = Matrix.algos
 
 (* Enough budget that every workload's control-flow signature is fully
    exercised; completion is not required (truncation is lint-legal). *)

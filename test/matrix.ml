@@ -1,11 +1,15 @@
 (* Shared scaffolding for the whole-suite test walls.
 
-   Every wall (bound soundness, conflict agreement, delta differential)
-   sweeps the same space — the 24 built-in workloads, the four paper
-   algorithm families each under the cost model its study uses, and the
-   harness's seven simulated architectures — at the standard 20k-step
-   test budget.  The sweep lives here once; the walls keep only their
-   per-cell assertions. *)
+   Every wall (bound soundness, conflict agreement, delta differential,
+   exttsp differential) sweeps the same space — the 24 built-in
+   workloads, the five algorithm families each under the cost model its
+   study uses, and the harness's seven simulated architectures — at the
+   standard 20k-step test budget.  The sweep lives here once; the walls
+   keep only their per-cell assertions.
+
+   This is a (wrapped false) library, not a module of the main test
+   executable, so the standalone gates (lint_all, verify_all) consume the
+   same canonical [algos] list instead of keeping their own copies. *)
 
 let wall_steps = 20_000
 
@@ -27,15 +31,28 @@ let archs_for image profile =
     Ba_sim.Bep.Btb_arch { entries = 256; assoc = 4 };
   ]
 
-(* One algorithm per paper family, each paired with the cost model its
-   study runs under. *)
-let wall_cells =
+(* The canonical algorithm list every wall and standalone gate sweeps.
+   Adding a constructor to Ba_core.Align.algo means adding it here (and
+   scripts/check_algo_walls.sh insists every constructor shows up in some
+   test wall). *)
+let algos =
   [
-    (Ba_core.Align.Original, Ba_core.Cost_model.Btfnt);
-    (Ba_core.Align.Greedy, Ba_core.Cost_model.Btfnt);
-    (Ba_core.Align.Cost, Ba_core.Cost_model.Pht);
-    (Ba_core.Align.Tryn 15, Ba_core.Cost_model.Btb);
+    Ba_core.Align.Original;
+    Ba_core.Align.Greedy;
+    Ba_core.Align.Cost;
+    Ba_core.Align.Tryn 15;
+    Ba_core.Align.ExtTsp;
   ]
+
+(* The cost model each algorithm's study runs under.  Greedy and ExtTsp
+   are architecture-oblivious; the arch only labels their cells. *)
+let arch_for = function
+  | Ba_core.Align.Original | Ba_core.Align.Greedy | Ba_core.Align.ExtTsp ->
+    Ba_core.Cost_model.Btfnt
+  | Ba_core.Align.Cost -> Ba_core.Cost_model.Pht
+  | Ba_core.Align.Tryn _ -> Ba_core.Cost_model.Btb
+
+let wall_cells = List.map (fun a -> (a, arch_for a)) algos
 
 let decisions_for ~profile program algo ~arch =
   match algo with

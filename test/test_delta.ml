@@ -109,7 +109,7 @@ let check_cell ~specs ~max_steps ~moves_per_cell ~what program profile trace
   List.length moves
 
 (* ------------------------------------------------------------------ *)
-(* The differential wall: 24 workloads x 4 algorithms x 7 architectures,
+(* The differential wall: 24 workloads x 5 algorithms x 7 architectures,
    every sampled move priced incrementally and by full replay. *)
 
 let test_differential_wall () =
@@ -498,7 +498,7 @@ let suites =
   [
     ( "delta.wall",
       [
-        Alcotest.test_case "24 workloads x 4 algos x 7 archs, exact" `Slow
+        Alcotest.test_case "24 workloads x 5 algos x 7 archs, exact" `Slow
           test_differential_wall;
         Alcotest.test_case "set-boundary swap forces scoped replay" `Quick
           test_scoped_fallback;

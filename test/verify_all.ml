@@ -6,18 +6,12 @@
    Any Error-severity diagnostic — or a pair that fails to produce a full
    certificate set — fails the build.
 
-   The 96 pairs run on a Ba_par.Pool (BA_JOBS-many domains), each
+   The 120 pairs run on a Ba_par.Pool (BA_JOBS-many domains), each
    workload profiled once via the Ba_workloads.Profiled memo exactly as
    lint_all does; the per-pair certificate list keeps architecture order,
    so every digest matches the sequential run's. *)
 
-let algos =
-  [
-    Ba_core.Align.Original;
-    Ba_core.Align.Greedy;
-    Ba_core.Align.Cost;
-    Ba_core.Align.Tryn 15;
-  ]
+let algos = Matrix.algos
 
 let max_steps = 60_000
 
