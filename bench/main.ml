@@ -357,6 +357,290 @@ let run_record () =
     (total_exttsp_full /. total_exttsp_delta);
   Printf.printf "wrote %s\n" path
 
+(* Serve-mode load generator:
+
+     dune exec bench/main.exe -- serve --clients C --requests R \
+         --mix align,simulate,verify
+
+   Spins an in-process {!Ba_serve.Server} three times against the same
+   deterministic request table — cold cache at -j1, cold cache at -j4,
+   warm cache at -j4 — and drives each instance with C pipelining client
+   domains.  The serving contract is checked end to end: every request
+   answered ok, all three waves byte-identical per request id, and the
+   warm wave served mostly from the Profiled LRU.  Throughput,
+   server-side latency percentiles and cache hit rates land in
+   BENCH_<n>.json (schema ba-serve-bench/1); any violated check makes the
+   run exit non-zero, so CI can gate on this binary alone. *)
+
+module P = Ba_serve.Protocol
+
+let serve_steps = 20_000
+let serve_window = 8
+let serve_algos = [| "try15"; "greedy"; "cost"; "exttsp"; "orig" |]
+let serve_arches = [| "btfnt"; "fallthrough"; "pht" |]
+
+let parse_serve_args () =
+  let clients = ref 8 and requests = ref 1200 in
+  let mix = ref [ P.Align; P.Simulate; P.Verify ] in
+  let usage () =
+    Printf.eprintf
+      "usage: bench serve [--clients C] [--requests R] [--mix align,simulate,verify]\n";
+    exit 1
+  in
+  let positive flag s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "bench serve: %s wants a positive integer, got %S\n" flag s;
+      usage ()
+  in
+  let parse_mix s =
+    let kind k =
+      match P.kind_of_name (String.trim k) with
+      | Ok P.Metrics ->
+        (* Metrics bodies carry wall-clock times, so they can never take
+           part in the byte-identity checks. *)
+        Printf.eprintf "bench serve: --mix takes compute kinds, not metrics\n";
+        usage ()
+      | Ok kind -> kind
+      | Error msg ->
+        Printf.eprintf "bench serve: %s\n" msg;
+        usage ()
+    in
+    match String.split_on_char ',' s with
+    | [] -> usage ()
+    | ks -> List.map kind ks
+  in
+  let rec loop i =
+    if i < Array.length Sys.argv then begin
+      let value flag =
+        if i + 1 >= Array.length Sys.argv then begin
+          Printf.eprintf "bench serve: %s needs a value\n" flag;
+          usage ()
+        end
+        else Sys.argv.(i + 1)
+      in
+      (match Sys.argv.(i) with
+      | "--clients" -> clients := positive "--clients" (value "--clients")
+      | "--requests" -> requests := positive "--requests" (value "--requests")
+      | "--mix" -> mix := parse_mix (value "--mix")
+      | other ->
+        Printf.eprintf "bench serve: unknown flag %S\n" other;
+        usage ());
+      loop (i + 2)
+    end
+  in
+  loop 2;
+  (!clients, !requests, !mix)
+
+(* The request table is a pure function of (requests, mix): workloads,
+   algorithms and architectures rotate on independent periods, so every
+   wave replays the identical id -> request mapping and responses can be
+   compared byte for byte across waves. *)
+let serve_request_table ~requests ~mix =
+  let kinds = Array.of_list mix in
+  let workloads = Array.of_list Ba_workloads.Spec.all in
+  Array.init requests (fun i ->
+      let w = workloads.(i mod Array.length workloads) in
+      P.request ~workload:w.Ba_workloads.Spec.name
+        ~algo:serve_algos.(i mod Array.length serve_algos)
+        ~arch:serve_arches.(i mod Array.length serve_arches)
+        ~max_steps:serve_steps ~id:i
+        kinds.(i mod Array.length kinds))
+
+type wave = {
+  w_label : string;
+  w_jobs : int;
+  w_cold : bool;
+  w_wall_s : float;
+  w_retries : int;  (** overloaded rejections that were re-sent *)
+  w_hits : int;
+  w_misses : int;
+  w_server : Ba_util.Json.t;  (** the metrics response's "server" block *)
+  w_bodies : string array;  (** response body per request id; [""] = unanswered *)
+}
+
+let run_wave ~label ~jobs ~cold ~clients reqs =
+  if cold then Ba_workloads.Profiled.clear ();
+  let lru0 = Ba_workloads.Profiled.lru_stats () in
+  let socket_path =
+    Printf.sprintf "/tmp/ba-bench-%d-%s.sock" (Unix.getpid ()) label
+  in
+  let cfg =
+    {
+      (Ba_serve.Server.default_config ~socket_path) with
+      jobs = Some jobs;
+      install_signals = false;
+    }
+  in
+  let handle = Ba_serve.Server.start cfg in
+  let n = Array.length reqs in
+  let bodies = Array.make n "" in
+  let t0 = Unix.gettimeofday () in
+  (* Each client owns the ids congruent to its index and keeps up to
+     [serve_window] requests in flight; an overloaded rejection re-queues
+     the id after a tiny backoff. *)
+  let worker c =
+    let cl = Ba_serve.Client.connect socket_path in
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      if i mod clients = c then Queue.add i queue
+    done;
+    let outstanding = ref 0 and retries = ref 0 in
+    let rec pump () =
+      if (not (Queue.is_empty queue)) || !outstanding > 0 then begin
+        while !outstanding < serve_window && not (Queue.is_empty queue) do
+          Ba_serve.Client.send cl reqs.(Queue.pop queue);
+          incr outstanding
+        done;
+        (match Ba_serve.Client.recv cl with
+        | None -> failwith "server closed the connection mid-wave"
+        | Some r -> (
+          decr outstanding;
+          match r.P.status with
+          | P.Ok_ -> bodies.(r.P.rid) <- Ba_util.Json.to_string r.P.body
+          | P.Error_ msg ->
+            failwith (Printf.sprintf "request %d failed: %s" r.P.rid msg)
+          | P.Overloaded ->
+            incr retries;
+            ignore (Unix.select [] [] [] 0.002);
+            Queue.add r.P.rid queue));
+        pump ()
+      end
+    in
+    pump ();
+    Ba_serve.Client.close cl;
+    !retries
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (fun () -> worker c)) in
+  let retries = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let cl = Ba_serve.Client.connect socket_path in
+  let m = Ba_serve.Client.call cl (P.request ~id:n P.Metrics) in
+  Ba_serve.Client.close cl;
+  Ba_serve.Server.stop handle;
+  let lru1 = Ba_workloads.Profiled.lru_stats () in
+  let w_server =
+    Option.value ~default:Ba_util.Json.Null
+      (Ba_util.Json.member "server" m.P.body)
+  in
+  {
+    w_label = label;
+    w_jobs = jobs;
+    w_cold = cold;
+    w_wall_s = wall_s;
+    w_retries = retries;
+    w_hits = lru1.Ba_par.Lru.hits - lru0.Ba_par.Lru.hits;
+    w_misses = lru1.Ba_par.Lru.misses - lru0.Ba_par.Lru.misses;
+    w_server;
+    w_bodies = bodies;
+  }
+
+let run_serve () =
+  let clients, requests, mix = parse_serve_args () in
+  let reqs = serve_request_table ~requests ~mix in
+  Printf.printf "== Serve bench: %d clients, %d requests, mix %s ==\n%!" clients
+    requests
+    (String.concat "," (List.map P.kind_name mix));
+  let service_pct w field =
+    match Ba_util.Json.member "service" w.w_server with
+    | Some s ->
+      Option.value ~default:0
+        (Option.bind (Ba_util.Json.member field s) Ba_util.Json.to_int_opt)
+    | None -> 0
+  in
+  let hit_rate w =
+    float_of_int w.w_hits /. float_of_int (max 1 (w.w_hits + w.w_misses))
+  in
+  let report w =
+    Printf.printf
+      "%-8s -j%d  %6.2fs  %7.1f req/s  service p50 %6d us  p95 %6d us  p99 \
+       %6d us  cache %d/%d (%.1f%% hit)%s\n\
+       %!"
+      w.w_label w.w_jobs w.w_wall_s
+      (float_of_int requests /. w.w_wall_s)
+      (service_pct w "p50_us") (service_pct w "p95_us")
+      (service_pct w "p99_us") w.w_hits (w.w_hits + w.w_misses)
+      (100.0 *. hit_rate w)
+      (if w.w_retries > 0 then Printf.sprintf "  %d retries" w.w_retries
+       else "")
+  in
+  let wave label jobs cold =
+    let w = run_wave ~label ~jobs ~cold ~clients reqs in
+    report w;
+    w
+  in
+  let cold1 = wave "cold-j1" 1 true in
+  let cold4 = wave "cold-j4" 4 true in
+  let warm4 = wave "warm-j4" 4 false in
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  List.iter
+    (fun w ->
+      let unanswered =
+        Array.fold_left (fun acc b -> if b = "" then acc + 1 else acc) 0 w.w_bodies
+      in
+      check (unanswered = 0)
+        (Printf.sprintf "%s: %d requests unanswered" w.w_label unanswered))
+    [ cold1; cold4; warm4 ];
+  let mismatches a b =
+    let m = ref 0 in
+    Array.iteri (fun i s -> if s <> b.w_bodies.(i) then incr m) a.w_bodies;
+    !m
+  in
+  let m14 = mismatches cold1 cold4 in
+  let m1w = mismatches cold1 warm4 in
+  check (m14 = 0)
+    (Printf.sprintf "cold -j1 vs cold -j4: %d response bodies differ" m14);
+  check (m1w = 0)
+    (Printf.sprintf "cold -j1 vs warm -j4: %d response bodies differ" m1w);
+  let warm_rate = hit_rate warm4 in
+  check (warm_rate > 0.5)
+    (Printf.sprintf "warm hit rate %.3f is not > 0.5" warm_rate);
+  let wave_json w =
+    Ba_util.Json.Obj
+      [
+        ("label", Ba_util.Json.String w.w_label);
+        ("jobs", Ba_util.Json.Int w.w_jobs);
+        ("cold", Ba_util.Json.Bool w.w_cold);
+        ("wall_s", Ba_util.Json.Float w.w_wall_s);
+        ( "throughput_rps",
+          Ba_util.Json.Float (float_of_int requests /. w.w_wall_s) );
+        ("overload_retries", Ba_util.Json.Int w.w_retries);
+        ("cache_hits", Ba_util.Json.Int w.w_hits);
+        ("cache_misses", Ba_util.Json.Int w.w_misses);
+        ("cache_hit_rate", Ba_util.Json.Float (hit_rate w));
+        ("server", w.w_server);
+      ]
+  in
+  let json =
+    Ba_util.Json.Obj
+      [
+        ("schema", Ba_util.Json.String "ba-serve-bench/1");
+        ("clients", Ba_util.Json.Int clients);
+        ("requests", Ba_util.Json.Int requests);
+        ( "mix",
+          Ba_util.Json.List
+            (List.map (fun k -> Ba_util.Json.String (P.kind_name k)) mix) );
+        ("max_steps", Ba_util.Json.Int serve_steps);
+        ("waves", Ba_util.Json.List (List.map wave_json [ cold1; cold4; warm4 ]));
+        ("identical_cold_j1_vs_j4", Ba_util.Json.Bool (m14 = 0));
+        ("identical_cold_vs_warm", Ba_util.Json.Bool (m1w = 0));
+        ("warm_hit_rate", Ba_util.Json.Float warm_rate);
+      ]
+  in
+  let path = next_bench_path () in
+  let oc = open_out path in
+  output_string oc (Ba_util.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun msg -> Printf.eprintf "bench serve: FAILED: %s\n" msg) fs;
+    exit 1
+
 let run_tables () =
   let registry = Ba_obs.Registry.create () in
   let evals, stats =
@@ -385,16 +669,23 @@ let run_tables () =
   run_record ()
 
 let () =
+  (match Ba_par.Pool.check_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "bench: %s\n" msg;
+    exit 2);
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
   | "record" -> run_record ()
+  | "serve" -> run_serve ()
   | "all" ->
     run_tables ();
     print_endline "\n== Bechamel microbenchmarks (time per run) ==";
     run_micro ()
   | other ->
-    Printf.eprintf "unknown argument %S (expected: tables | micro | record | all)\n"
+    Printf.eprintf
+      "unknown argument %S (expected: tables | micro | record | serve | all)\n"
       other;
     exit 1

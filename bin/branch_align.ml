@@ -10,16 +10,8 @@
 
 open Cmdliner
 
-let parse_core_algo = function
-  | "orig" | "original" -> Ok Ba_core.Align.Original
-  | "greedy" | "pettis-hansen" -> Ok Ba_core.Align.Greedy
-  | "cost" -> Ok Ba_core.Align.Cost
-  | "exttsp" -> Ok Ba_core.Align.ExtTsp
-  | s when String.length s > 3 && String.sub s 0 3 = "try" -> (
-    match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-    | Some n when n > 0 -> Ok (Ba_core.Align.Tryn n)
-    | Some _ | None -> Error (`Msg "tryN: N must be a positive integer"))
-  | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+let parse_core_algo s =
+  Result.map_error (fun e -> `Msg e) (Ba_core.Align.algo_of_name s)
 
 let algo_conv =
   let print ppf a = Fmt.string ppf (Ba_core.Align.algo_name a) in
@@ -43,13 +35,8 @@ let align_algo_conv =
   Arg.conv (parse, print)
 
 let arch_conv =
-  let parse = function
-    | "fallthrough" | "ft" -> Ok Ba_core.Cost_model.Fallthrough
-    | "btfnt" -> Ok Ba_core.Cost_model.Btfnt
-    | "likely" -> Ok Ba_core.Cost_model.Likely
-    | "pht" -> Ok Ba_core.Cost_model.Pht
-    | "btb" -> Ok Ba_core.Cost_model.Btb
-    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Ba_core.Cost_model.arch_of_name s)
   in
   let print ppf a = Fmt.string ppf (Ba_core.Cost_model.arch_name a) in
   Arg.conv (parse, print)
@@ -72,13 +59,21 @@ let max_steps_arg =
   let doc = "Execution budget in semantic block visits." in
   Arg.(value & opt int Ba_workloads.Spec.default_max_steps & info [ "max-steps" ] ~doc)
 
+(* -j rejects zero/negative/garbage at parse time, mirroring the strict
+   BA_JOBS handling: a bad job count is an error, never a silent default. *)
+let jobs_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Ba_par.Pool.jobs_of_string s)
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs_arg =
   let doc =
     "Worker domains for the checking pool (default: \\$(b,BA_JOBS) or the \
      machine's domain count; 1 forces the sequential path).  Diagnostics, \
      certificates and exit codes are identical for every value."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+  Arg.(value & opt (some jobs_conv) None & info [ "j"; "jobs" ] ~doc)
 
 let lookup name =
   match Ba_workloads.Spec.by_name name with
@@ -1126,7 +1121,31 @@ let dump_cfg_cmd name proc_id max_steps =
   end;
   print_string (Ba_cfg.Graph.dot ~profile:(profile, proc_id) (Ba_ir.Program.proc program proc_id))
 
+(* Alignment-as-a-service: block in the persistent request loop until
+   SIGINT/SIGTERM, then drain and exit.  All the interesting behaviour
+   (batching, sharded caching, backpressure) lives in Ba_serve.Server. *)
+let serve_cmd socket jobs cache_mb queue_len batch_max =
+  let cfg =
+    {
+      (Ba_serve.Server.default_config ~socket_path:socket) with
+      jobs;
+      cache_mb;
+      queue_len;
+      batch_max;
+    }
+  in
+  Printf.printf "serving on %s (queue %d, batch %d%s)\n%!" socket queue_len
+    batch_max
+    (match jobs with Some j -> Printf.sprintf ", %d jobs" j | None -> "");
+  Ba_serve.Server.run cfg;
+  print_endline "drained, bye"
+
 let () =
+  (match Ba_par.Pool.check_env () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("branch_align: " ^ msg);
+    exit 2);
   let proc_arg =
     Arg.(value & opt int 0 & info [ "proc" ] ~doc:"Procedure id to dump.")
   in
@@ -1362,10 +1381,45 @@ let () =
             $ strict_arg $ no_audit_arg $ interproc_arg $ format_arg
             $ max_steps_arg $ jobs_arg)
   in
+  let serve =
+    let socket_arg =
+      let doc = "Unix socket path to serve on." in
+      Arg.(required & opt (some string) None & info [ "socket" ] ~doc)
+    in
+    let cache_mb_arg =
+      let doc =
+        "Byte budget of the sharded profile/trace cache, in MiB (default \
+         512; 0 or less removes the bound)."
+      in
+      Arg.(value & opt (some int) None & info [ "cache-mb" ] ~doc)
+    in
+    let queue_len_arg =
+      let doc =
+        "Admission-queue bound; requests beyond it are answered \
+         $(b,overloaded) immediately."
+      in
+      Arg.(value & opt int 256 & info [ "queue-len" ] ~doc)
+    in
+    let batch_max_arg =
+      let doc = "Maximum requests dispatched per pool batch." in
+      Arg.(value & opt int 64 & info [ "batch-max" ] ~doc)
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Serve align/simulate/verify/analyze/tables requests over a Unix \
+            socket: batched through the deterministic pool (responses are \
+            byte-identical at any $(b,-j)), cached in the sharded LRU, with \
+            bounded-queue backpressure and graceful drain on \
+            SIGINT/SIGTERM.")
+      Term.(
+        const serve_cmd $ socket_arg $ jobs_arg $ cache_mb_arg $ queue_len_arg
+        $ batch_max_arg)
+  in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "branch_align"
              ~doc:"Profile-guided branch alignment (Calder & Grunwald, ASPLOS 1994).")
           [ run; list; dump; hotspots; record; replay; trace_group; align;
-            disasm; simulate; analyze; bound; lint; verify ]))
+            disasm; simulate; analyze; bound; lint; verify; serve ]))

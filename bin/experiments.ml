@@ -36,13 +36,21 @@ let tryn_arg =
   let doc = "Group size for the TryN algorithm (the paper uses 15)." in
   Arg.(value & opt int 15 & info [ "tryn" ] ~doc)
 
+(* Strict job-count parsing, shared with BA_JOBS: zero, negative and
+   garbage values are command-line errors, never silent defaults. *)
+let jobs_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Ba_par.Pool.jobs_of_string s)
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs_arg =
   let doc =
     "Worker domains for the evaluation pool (default: \\$(b,BA_JOBS) or the \
      machine's domain count; 1 forces the sequential path).  Output is \
      byte-identical for every value."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+  Arg.(value & opt (some jobs_conv) None & info [ "j"; "jobs" ] ~doc)
 
 let timings_arg =
   let doc = "After the figures, print per-workload evaluation wall times." in
@@ -605,6 +613,11 @@ let cmd2 name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ max_steps_arg $ only_arg)
 
 let () =
+  (match Ba_par.Pool.check_env () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("experiments: " ^ msg);
+    exit 2);
   let table1_cmd =
     Cmd.v (Cmd.info "table1" ~doc:"Print the Table 1 cost model.")
       Term.(const print_table1 $ const ())

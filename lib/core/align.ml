@@ -7,6 +7,20 @@ let algo_name = function
   | Tryn n -> Printf.sprintf "Try%d" n
   | ExtTsp -> "ExtTsp"
 
+(* One spelling table shared by the CLI and the serve protocol, so a request
+   kind accepts exactly what the command line accepts. *)
+let algo_of_name s =
+  match String.lowercase_ascii s with
+  | "orig" | "original" -> Ok Original
+  | "greedy" | "pettis-hansen" -> Ok Greedy
+  | "cost" -> Ok Cost
+  | "exttsp" -> Ok ExtTsp
+  | l when String.length l > 3 && String.sub l 0 3 = "try" -> (
+    match int_of_string_opt (String.sub l 3 (String.length l - 3)) with
+    | Some n when n > 0 -> Ok (Tryn n)
+    | Some _ | None -> Error "tryN: N must be a positive integer")
+  | _ -> Error (Printf.sprintf "unknown algorithm %S" s)
+
 let run_algo algo ?delta ~arch ?table ?min_weight ctx =
   match algo with
   | Original -> invalid_arg "Align.run_algo: Original has no chains"

@@ -32,6 +32,11 @@ type algo =
 
 val algo_name : algo -> string
 
+val algo_of_name : string -> (algo, string) result
+(** Parse a command-line / protocol spelling: [orig]/[original], [greedy]/
+    [pettis-hansen], [cost], [exttsp], or [tryN] (e.g. [try15]).
+    Case-insensitive. *)
+
 val align_proc :
   algo ->
   ?strategy:Ba_layout.Chain_order.strategy ->

@@ -9,6 +9,15 @@ let arch_name = function
 
 let all_arches = [ Fallthrough; Btfnt; Likely; Pht; Btb ]
 
+let arch_of_name s =
+  match String.lowercase_ascii s with
+  | "fallthrough" | "ft" -> Ok Fallthrough
+  | "btfnt" -> Ok Btfnt
+  | "likely" -> Ok Likely
+  | "pht" -> Ok Pht
+  | "btb" -> Ok Btb
+  | _ -> Error (Printf.sprintf "unknown architecture %S" s)
+
 type table = { instruction : float; misfetch : float; mispredict : float }
 
 let default_table = { instruction = 1.0; misfetch = 1.0; mispredict = 4.0 }

@@ -21,6 +21,10 @@ type arch = Fallthrough | Btfnt | Likely | Pht | Btb
 val arch_name : arch -> string
 val all_arches : arch list
 
+val arch_of_name : string -> (arch, string) result
+(** Parse a command-line / protocol spelling: [fallthrough]/[ft], [btfnt],
+    [likely], [pht], or [btb].  Case-insensitive. *)
+
 type table = {
   instruction : float;  (** base cost of executing the branch instruction *)
   misfetch : float;  (** pipeline bubble of a correctly-predicted redirect *)

@@ -14,3 +14,26 @@ let observe_n t v ~n =
   match Registry.current () with
   | None -> ()
   | Some r -> Registry.observe_n r t v n
+
+(* Nearest-rank quantile estimate from a snapshot: walk the cumulative
+   counts to the bucket containing the rank and report that bucket's upper
+   bound (the overflow slot reports the true maximum, which the snapshot
+   tracks exactly). *)
+let quantile (s : Registry.hsnap) q =
+  if s.Registry.total = 0 then None
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.Registry.total)) in
+      if r < 1 then 1 else r
+    in
+    let n_bounds = Array.length s.Registry.bounds in
+    let rec walk i acc =
+      if i >= n_bounds then Some s.Registry.max_value
+      else
+        let acc = acc + s.Registry.counts.(i) in
+        if acc >= rank then Some (min s.Registry.bounds.(i) s.Registry.max_value)
+        else walk (i + 1) acc
+    in
+    walk 0 0
+  end

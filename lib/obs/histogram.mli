@@ -13,3 +13,10 @@ val observe_n : t -> int -> n:int -> unit
 (** [observe_n h v ~n] records [n] observations of value [v] at once —
     exactly equivalent to [n] calls of [observe h v]; structures that batch
     their metrics flush per-value tallies through this. *)
+
+val quantile : Registry.hsnap -> float -> int option
+(** [quantile snap q] is a nearest-rank estimate of the [q]-quantile
+    ([0.0 <= q <= 1.0], clamped) of the observations in [snap]: the upper
+    bound of the bucket containing the rank, capped at the exact maximum
+    (so [quantile snap 1.0 = Some max]).  [None] when the snapshot is
+    empty. *)

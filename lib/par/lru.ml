@@ -1,0 +1,261 @@
+(* Sharded compute-once LRU cache.
+
+   Keys hash to one of N independent shards (FNV-1a-64, like every other
+   digest in the repo), so concurrent lookups on different shards never
+   contend.  Within a shard, a miss installs a [Pending] cell before the
+   compute runs outside the lock — concurrent callers of the same key block
+   on the cell instead of recomputing (the record-once contract the trace
+   layer depends on).  Recency is an integer stamp per entry; eviction
+   scans for the minimum stamp, which is O(entries-per-shard) but entries
+   here are whole recorded traces, so shards hold tens of values, not
+   millions. *)
+
+type 'a state =
+  | Pending
+  | Ready of 'a
+  | Failed  (* compute raised; cell is dead, waiters must retry *)
+
+type 'a entry = {
+  mutable state : 'a state;
+  mutable size : int;  (* bytes charged against the shard budget *)
+  mutable stamp : int;  (* shard tick at last touch; larger = more recent *)
+}
+
+type 'a shard = {
+  mutex : Mutex.t;
+  settled : Condition.t;  (* some Pending cell became Ready or Failed *)
+  table : (string, 'a entry) Hashtbl.t;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  size_of : 'a -> int;
+  mutable budget_bytes : int;  (* total across shards; <= 0 means unbounded *)
+  m_hit : Ba_obs.Counter.t;
+  m_miss : Ba_obs.Counter.t;
+  m_evict : Ba_obs.Counter.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  budget_bytes : int;
+}
+
+let create ?(shards = 8) ?(budget_bytes = 0) ~name ~size_of () =
+  if shards < 1 then invalid_arg "Lru.create: shards must be at least 1";
+  (* Volatile: hit/miss splits depend on scheduling once eviction kicks in,
+     so they must stay out of the deterministic metrics document. *)
+  let metric suffix =
+    Ba_obs.Counter.make ~unit_:"lookups" ~volatile:true
+      (Printf.sprintf "lru.%s.%s" name suffix)
+  in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            mutex = Mutex.create ();
+            settled = Condition.create ();
+            table = Hashtbl.create 16;
+            bytes = 0;
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
+    size_of;
+    budget_bytes;
+    m_hit = metric "hit";
+    m_miss = metric "miss";
+    m_evict = metric "evict";
+  }
+
+let shard_of t key =
+  let h = Ba_util.Fnv.hash64 key in
+  let n = Array.length t.shards in
+  t.shards.(Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int n)))
+
+let per_shard_budget (t : _ t) =
+  if t.budget_bytes <= 0 then max_int
+  else max 1 (t.budget_bytes / Array.length t.shards)
+
+let touch (sh : _ shard) e =
+  sh.tick <- sh.tick + 1;
+  e.stamp <- sh.tick
+
+(* With [sh.mutex] held: drop least-recently-used Ready entries until the
+   shard fits its budget.  Pending cells are never evicted (a computer or
+   waiters hold them); if nothing evictable remains we stop, over budget. *)
+let evict_over_budget (t : _ t) (sh : _ shard) =
+  let budget = per_shard_budget t in
+  let exhausted = ref false in
+  while sh.bytes > budget && not !exhausted do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match e.state with
+        | Ready _ -> (
+          match !victim with
+          | Some (_, best) when best.stamp <= e.stamp -> ()
+          | _ -> victim := Some (k, e))
+        | Pending | Failed -> ())
+      sh.table;
+    match !victim with
+    | Some (k, e) ->
+      Hashtbl.remove sh.table k;
+      sh.bytes <- sh.bytes - e.size;
+      sh.evictions <- sh.evictions + 1;
+      Ba_obs.Counter.incr t.m_evict
+    | None -> exhausted := true
+  done
+
+let get (t : _ t) ~key compute =
+  let sh = shard_of t key in
+  Mutex.lock sh.mutex;
+  (* [counted] is true once this call has been tallied as a hit or miss, so
+     retries after a Failed cell do not double count. *)
+  let rec acquire ~counted =
+    match Hashtbl.find_opt sh.table key with
+    | Some e -> (
+      if not counted then begin
+        sh.hits <- sh.hits + 1;
+        Ba_obs.Counter.incr t.m_hit
+      end;
+      match e.state with
+      | Ready v ->
+        touch sh e;
+        Mutex.unlock sh.mutex;
+        v
+      | Failed ->
+        (* Dead cell left by a failed compute; replace it. *)
+        Hashtbl.remove sh.table key;
+        acquire ~counted:true
+      | Pending ->
+        let rec wait () =
+          match e.state with
+          | Pending ->
+            Condition.wait sh.settled sh.mutex;
+            wait ()
+          | Ready v ->
+            touch sh e;
+            Mutex.unlock sh.mutex;
+            v
+          | Failed -> acquire ~counted:true
+        in
+        wait ())
+    | None ->
+      if not counted then begin
+        sh.misses <- sh.misses + 1;
+        Ba_obs.Counter.incr t.m_miss
+      end;
+      let e = { state = Pending; size = 0; stamp = sh.tick } in
+      Hashtbl.replace sh.table key e;
+      Mutex.unlock sh.mutex;
+      (match compute () with
+      | v ->
+        let size = max 0 (t.size_of v) in
+        Mutex.lock sh.mutex;
+        e.state <- Ready v;
+        e.size <- size;
+        sh.bytes <- sh.bytes + size;
+        touch sh e;
+        Condition.broadcast sh.settled;
+        evict_over_budget t sh;
+        Mutex.unlock sh.mutex;
+        v
+      | exception ex ->
+        Mutex.lock sh.mutex;
+        (* Leave a Failed marker for waiters already holding the cell, but
+           remove it from the table so the next lookup recomputes. *)
+        e.state <- Failed;
+        (match Hashtbl.find_opt sh.table key with
+        | Some e' when e' == e -> Hashtbl.remove sh.table key
+        | _ -> ());
+        Condition.broadcast sh.settled;
+        Mutex.unlock sh.mutex;
+        raise ex)
+  in
+  acquire ~counted:false
+
+let mem (t : _ t) key =
+  let sh = shard_of t key in
+  Mutex.lock sh.mutex;
+  let present =
+    match Hashtbl.find_opt sh.table key with
+    | Some { state = Ready _; _ } -> true
+    | _ -> false
+  in
+  Mutex.unlock sh.mutex;
+  present
+
+let set_budget (t : _ t) ~bytes =
+  t.budget_bytes <- bytes;
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.mutex;
+      evict_over_budget t sh;
+      Mutex.unlock sh.mutex)
+    t.shards
+
+let stats (t : _ t) =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.mutex;
+      let entries =
+        Hashtbl.fold
+          (fun _ e n -> match e.state with Ready _ -> n + 1 | _ -> n)
+          sh.table 0
+      in
+      let acc =
+        {
+          acc with
+          hits = acc.hits + sh.hits;
+          misses = acc.misses + sh.misses;
+          evictions = acc.evictions + sh.evictions;
+          entries = acc.entries + entries;
+          bytes = acc.bytes + sh.bytes;
+        }
+      in
+      Mutex.unlock sh.mutex;
+      acc)
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      entries = 0;
+      bytes = 0;
+      budget_bytes = t.budget_bytes;
+    }
+    t.shards
+
+let clear (t : _ t) =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.mutex;
+      (* Ready entries go; Pending cells stay (their computer will settle
+         them and account their bytes), so a clear racing a compute cannot
+         corrupt the byte ledger. *)
+      let pending =
+        Hashtbl.fold
+          (fun k e acc ->
+            match e.state with
+            | Pending -> (k, e) :: acc
+            | Ready _ | Failed -> acc)
+          sh.table []
+      in
+      Hashtbl.reset sh.table;
+      List.iter (fun (k, e) -> Hashtbl.replace sh.table k e) pending;
+      sh.bytes <- 0;
+      sh.hits <- 0;
+      sh.misses <- 0;
+      sh.evictions <- 0;
+      Mutex.unlock sh.mutex)
+    t.shards

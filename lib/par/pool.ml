@@ -26,12 +26,35 @@ type t = {
    must then run inline rather than submit to (and deadlock on) the pool. *)
 let in_task = Domain.DLS.new_key (fun () -> false)
 
-let default_jobs () =
+let jobs_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "job count must be positive, got %d" n)
+  | None -> Error (Printf.sprintf "job count must be a positive integer, got %S" s)
+
+(* An empty value counts as unset: [BA_JOBS= cmd] is the conventional way
+   to clear an inherited setting, and [Unix.putenv "BA_JOBS" ""] is the
+   only way a test can restore an originally-unset variable. *)
+let jobs_env () =
   match Sys.getenv_opt "BA_JOBS" with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> Some s
+
+let check_env () =
+  match jobs_env () with
+  | None -> Ok ()
   | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> Domain.recommended_domain_count ())
+    match jobs_of_string s with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Printf.sprintf "BA_JOBS: %s" e))
+
+let default_jobs () =
+  match jobs_env () with
+  | Some s -> (
+    match jobs_of_string s with
+    | Ok n -> n
+    | Error e -> failwith (Printf.sprintf "BA_JOBS: %s" e))
   | None -> Domain.recommended_domain_count ()
 
 let jobs t = t.n_jobs

@@ -30,9 +30,22 @@
 
 type t
 
+val jobs_of_string : string -> (int, string) result
+(** Parse a job count: a positive integer (surrounding whitespace allowed).
+    Zero, negative, and non-numeric values are errors with a human-readable
+    message. *)
+
+val check_env : unit -> (unit, string) result
+(** Validate the [BA_JOBS] environment variable without consuming it.  [Ok]
+    when unset or a positive integer; [Error message] otherwise.  Entry
+    points call this first so a malformed [BA_JOBS] is a clear non-zero exit
+    instead of a silent fallback. *)
+
 val default_jobs : unit -> int
-(** The [BA_JOBS] environment variable if set to a positive integer,
-    otherwise [Domain.recommended_domain_count ()]. *)
+(** The [BA_JOBS] environment variable if set, otherwise
+    [Domain.recommended_domain_count ()].  Raises [Failure] if [BA_JOBS] is
+    set to anything but a positive integer — use {!check_env} at program
+    entry for a graceful message. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting

@@ -9,6 +9,12 @@ type t = {
 
 let byte_size t = Bytes.length t.conds + Bytes.length t.choices
 
+let equal a b =
+  a.steps = b.steps && a.completed = b.completed && a.n_conds = b.n_conds
+  && a.n_choices = b.n_choices
+  && Bytes.equal a.conds b.conds
+  && Bytes.equal a.choices b.choices
+
 let cond t i =
   if i < 0 || i >= t.n_conds then invalid_arg "Trace.cond: index out of range";
   (Char.code (Bytes.get t.conds (i lsr 3)) lsr (i land 7)) land 1 = 1

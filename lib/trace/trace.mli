@@ -38,6 +38,10 @@ type t = {
 val byte_size : t -> int
 (** Payload bytes (both streams), the number reported by [bench]. *)
 
+val equal : t -> t -> bool
+(** Structural equality of the full decision stream (used by the save/load
+    and cache round-trip tests). *)
+
 val cond : t -> int -> bool
 (** [cond t i] is the [i]th conditional outcome.  Bounds-checked. *)
 

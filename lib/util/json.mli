@@ -1,10 +1,10 @@
-(** Minimal JSON emission.
+(** Minimal JSON emission and parsing.
 
     The diagnostic and certificate machinery needs machine-readable output
     (`branch_align lint --format=json`, `branch_align verify --format=json`)
-    without pulling a JSON dependency into the build.  This is an emitter
-    only — values are constructed in code and rendered compactly; there is
-    deliberately no parser. *)
+    without pulling a JSON dependency into the build.  The serve protocol
+    additionally needs to read frames back, so a small strict parser lives
+    here too. *)
 
 type t =
   | Null
@@ -22,3 +22,15 @@ val to_string : t -> string
 (** Compact rendering (no insignificant whitespace). *)
 
 val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parse of a single JSON value.  Object key order is preserved;
+    numbers containing ['.'], ['e'] or ['E'] become [Float], others [Int]
+    (falling back to [Float] on overflow).  Trailing non-whitespace after
+    the value is an error. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] when [json] is an [Obj]. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option

@@ -1,5 +1,18 @@
-let cache : (Ba_ir.Program.t * Ba_cfg.Profile.t * Ba_trace.Trace.t) Ba_par.Memo.t =
-  Ba_par.Memo.create ()
+(* Default budget: 512 MiB comfortably holds every workload in the suite at
+   the default step budget while still exercising eviction when a server is
+   pointed at a smaller [--cache-mb]. *)
+let default_budget_bytes = 512 * 1024 * 1024
+
+(* A cached triple is dominated by its packed trace; the program and profile
+   ride along under a flat overhead allowance. *)
+let entry_overhead_bytes = 64 * 1024
+
+let size_of (_program, _profile, trace) =
+  Ba_trace.Trace.byte_size trace + entry_overhead_bytes
+
+let cache : (Ba_ir.Program.t * Ba_cfg.Profile.t * Ba_trace.Trace.t) Ba_par.Lru.t =
+  Ba_par.Lru.create ~shards:8 ~budget_bytes:default_budget_bytes ~name:"profiled"
+    ~size_of ()
 
 let key ~name ~max_steps =
   Ba_util.Fnv.digest64 (Printf.sprintf "profile|%s|%d" name max_steps)
@@ -8,7 +21,7 @@ let get_traced ?max_steps (w : Spec.t) =
   let max_steps =
     match max_steps with Some s -> s | None -> Spec.default_max_steps
   in
-  Ba_par.Memo.get cache
+  Ba_par.Lru.get cache
     ~key:(key ~name:w.Spec.name ~max_steps)
     (fun () ->
       let program = w.Spec.build () in
@@ -19,5 +32,10 @@ let get ?max_steps w =
   let program, profile, _ = get_traced ?max_steps w in
   (program, profile)
 
-let stats () = (Ba_par.Memo.hits cache, Ba_par.Memo.misses cache)
-let clear () = Ba_par.Memo.clear cache
+let stats () =
+  let s = Ba_par.Lru.stats cache in
+  (s.Ba_par.Lru.hits, s.Ba_par.Lru.misses)
+
+let lru_stats () = Ba_par.Lru.stats cache
+let set_budget_mb mb = Ba_par.Lru.set_budget cache ~bytes:(mb * 1024 * 1024)
+let clear () = Ba_par.Lru.clear cache

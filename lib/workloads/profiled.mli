@@ -8,7 +8,13 @@
     {e exactly once} per workload per [max_steps] budget, collecting the
     program, its profile {e and} its packed {!Ba_trace.Trace.t} in the same
     pass, and shares the triple across all cells, including concurrent ones
-    (the underlying {!Ba_par.Memo} blocks duplicate computations).
+    (the underlying {!Ba_par.Lru} blocks duplicate computations).
+
+    The cache is bounded: entries are priced at the packed trace size plus a
+    flat overhead and evicted least-recently-used once the byte budget
+    (512 MiB by default, resizable with {!set_budget_mb}) is exceeded.
+    Evictions only cost a recompute — the triple is a pure function of the
+    key — so correctness never depends on residency.
 
     Sharing is sound because every consumer treats the triple as read-only:
     the profile's counters are only mutated during the initial profiling
@@ -34,5 +40,13 @@ val get : ?max_steps:int -> Spec.t -> Ba_ir.Program.t * Ba_cfg.Profile.t
 
 val stats : unit -> int * int
 (** [(hits, misses)] of the process-wide cache. *)
+
+val lru_stats : unit -> Ba_par.Lru.stats
+(** Full cache statistics including evictions, resident entries, and byte
+    usage against the budget. *)
+
+val set_budget_mb : int -> unit
+(** Resize the cache's total byte budget (evicting immediately to fit);
+    values [<= 0] make it unbounded. *)
 
 val clear : unit -> unit

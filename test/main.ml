@@ -7,4 +7,4 @@ let () =
          Test_analysis.suites; Test_verify.suites; Test_obs.suites;
          Test_par.suites; Test_trace.suites; Test_conflict.suites;
          Test_bound.suites; Test_delta.suites; Test_exttsp.suites;
-         Test_fuzz.suites ])
+         Test_fuzz.suites; Test_serve.suites ])

@@ -136,9 +136,38 @@ let test_default_jobs_env () =
   Fun.protect ~finally:restore (fun () ->
       Unix.putenv "BA_JOBS" "3";
       Alcotest.(check int) "BA_JOBS honoured" 3 (Ba_par.Pool.default_jobs ());
+      Alcotest.(check bool) "valid env passes check_env" true
+        (Ba_par.Pool.check_env () = Ok ());
       Unix.putenv "BA_JOBS" "not-a-number";
-      Alcotest.(check bool) "garbage falls back to a positive default" true
-        (Ba_par.Pool.default_jobs () >= 1))
+      (match Ba_par.Pool.default_jobs () with
+      | (_ : int) -> Alcotest.fail "garbage BA_JOBS must be rejected"
+      | exception Failure _ -> ());
+      Alcotest.(check bool) "garbage fails check_env" true
+        (match Ba_par.Pool.check_env () with Error _ -> true | Ok () -> false);
+      Unix.putenv "BA_JOBS" "";
+      Alcotest.(check bool) "unset env passes check_env" true
+        (Ba_par.Pool.check_env () = Ok ()))
+
+(* The CLI-facing parser behind -j and BA_JOBS: positive integers only,
+   with an error message that names the offending value. *)
+let test_jobs_of_string () =
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S parses" s)
+        true
+        (Ba_par.Pool.jobs_of_string s = Ok expected))
+    [ ("1", 1); ("4", 4); (" 8 ", 8); ("64", 64) ];
+  List.iter
+    (fun s ->
+      match Ba_par.Pool.jobs_of_string s with
+      | Ok n -> Alcotest.fail (Printf.sprintf "%S accepted as %d" s n)
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S rejected with a message" s)
+          true
+          (String.length msg > 0))
+    [ "0"; "-1"; "-3"; "garbage"; ""; "1.5"; "4x" ]
 
 (* -- Memo ------------------------------------------------------------------- *)
 
@@ -353,7 +382,7 @@ let test_metrics_json_byte_identical () =
     [
       "core.align.greedy.link"; "core.align.tryn.link"; "exec.engine.runs";
       "predict.pht.lookup"; "predict.ras.push"; "sim.bep.misfetch_cycles";
-      "sim.bep.mispredict_cycles"; "par.memo.miss"; "par.pool.batch";
+      "sim.bep.mispredict_cycles"; "lru.profiled.miss"; "par.pool.batch";
     ]
 
 let test_evaluate_suite_timed () =
@@ -383,6 +412,7 @@ let suites =
         Alcotest.test_case "nested map runs inline" `Quick test_nested_map_runs_inline;
         Alcotest.test_case "timed map stats" `Quick test_timed_map;
         Alcotest.test_case "BA_JOBS default" `Quick test_default_jobs_env;
+        Alcotest.test_case "jobs_of_string validation" `Quick test_jobs_of_string;
       ] );
     ( "par.memo",
       [
